@@ -1,0 +1,65 @@
+// Command pmbench regenerates the tables and figures of the paper's
+// evaluation section (plus the ablations) and prints them as text tables
+// and ASCII plots.
+//
+// Usage:
+//
+//	pmbench                  # run everything at quick sweep sizes
+//	pmbench -full            # full sweeps (the paper's plotted ranges)
+//	pmbench -exp fig9,fig12  # selected experiments
+//	pmbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"powermanna"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		full     = flag.Bool("full", false, "run full sweeps instead of quick ones")
+		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of tables and plots")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, id := range powermanna.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := powermanna.ExperimentOptions{Quick: !*full}
+	ids := powermanna.ExperimentIDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		r, err := powermanna.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			b, err := r.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Println(r.Render())
+			fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

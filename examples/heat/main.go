@@ -1,0 +1,50 @@
+// Heat: a distributed-memory scientific application on PowerMANNA — the
+// workload class the paper's introduction motivates. A 1D heat equation
+// is domain-decomposed across 1, 8 and 128 nodes; every time step
+// exchanges one-cell halos over the crossbar network and periodically
+// reduces the residual. The parallel fields are bit-identical to the
+// serial solve; the timing shows strong scaling and its communication-
+// bound rollover.
+package main
+
+import (
+	"fmt"
+
+	"powermanna"
+)
+
+func main() {
+	cfg := powermanna.HeatDefaultConfig(32768, 100)
+
+	serial, err := powermanna.RunHeatSerial(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%8s %12s %10s %10s %12s\n", "ranks", "time", "speedup", "eff", "messages")
+	var base float64
+	for _, build := range []func() *powermanna.Topology{
+		powermanna.SingleNode,
+		powermanna.Cluster8,
+		powermanna.System256,
+	} {
+		w := powermanna.NewWorld(build())
+		res, err := powermanna.RunHeat(w, cfg)
+		if err != nil {
+			panic(err)
+		}
+		for i := range serial {
+			if res.Field[i] != serial[i] {
+				panic("parallel field diverged from serial reference")
+			}
+		}
+		if base == 0 {
+			base = float64(res.Makespan)
+		}
+		sp := base / float64(res.Makespan)
+		fmt.Printf("%8d %12v %10.2f %9.0f%% %12d\n",
+			res.Ranks, res.Makespan, sp, 100*sp/float64(res.Ranks), res.Messages)
+	}
+	fmt.Println("\n(fields are bit-identical to the serial solve at every scale;")
+	fmt.Println(" at 128 ranks the per-step halo latency starts eating the gain)")
+}

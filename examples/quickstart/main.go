@@ -1,0 +1,32 @@
+// Quickstart: build the PowerMANNA node, run a small workload on both
+// MPC620 processors, and measure the communication headline numbers.
+package main
+
+import (
+	"fmt"
+
+	"powermanna"
+)
+
+func main() {
+	// The test systems of the paper's Table 1.
+	fmt.Println("The three test systems:")
+	fmt.Println(powermanna.Table1())
+
+	// A dual-MPC620 PowerMANNA node.
+	nd := powermanna.NewNode(powermanna.PowerMANNA())
+
+	// MatMult on one processor, then on both: the switched node fabric
+	// gives essentially perfect SMP scaling (Figure 8).
+	one := powermanna.RunMatMult(nd, 101, powermanna.Transposed, 1)
+	two := powermanna.RunMatMult(nd, 101, powermanna.Transposed, 2)
+	fmt.Println(one)
+	fmt.Println(two)
+	fmt.Printf("dual-processor speedup: %.2f\n\n", one.Time.Seconds()/two.Time.Seconds())
+
+	// The communication headline (Figure 9): 8 bytes node-to-node.
+	pm := powermanna.NewPowerMANNAComm()
+	fmt.Printf("one-way latency for 8 bytes: %v (paper: 2.75us)\n", pm.OneWayLatency(8))
+	fmt.Printf("unidirectional stream at 64 KB: %.1f MB/s (paper: limited to 60 MB/s)\n",
+		pm.UniBandwidth(64<<10)/1e6)
+}

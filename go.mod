@@ -1,0 +1,3 @@
+module powermanna
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package cache models set-associative write-back caches with MESI
+// coherence state, as implemented by the PowerPC MPC620 (separate 32 KB
+// on-chip instruction and data caches, 64-byte lines, full MESI with
+// snooping — Section 2 of the paper) and by the per-processor 2 MB
+// second-level caches of the PowerMANNA node.
+//
+// The package is the state-keeping half of the coherence protocol: it
+// tracks tags, MESI states and LRU, and classifies accesses. The protocol's
+// bus half — who gets the address phase, where fills come from, when
+// cache-to-cache transfers happen — lives with the node fabric models in
+// internal/bus and internal/node, because that is a property of the
+// machine, not of the cache ASIC.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+// The four MESI states. The zero value is Invalid so fresh lines need no
+// initialization.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether the state holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// Config describes one cache.
+type Config struct {
+	// Name labels the cache in stats output, e.g. "L1D" or "L2".
+	Name string
+	// SizeBytes is total capacity. Must be Assoc*LineBytes*powerOfTwo sets.
+	SizeBytes int
+	// LineBytes is the line length — 64 for the MPC620/PowerMANNA, 32 for
+	// the UltraSPARC-I and Pentium II (Table 1). Must be a power of two.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitCycles is the load-use latency of a hit, in cycles of the owning
+	// clock domain. The cache itself does no time arithmetic; the CPU and
+	// node models convert.
+	HitCycles int
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache %q: non-positive geometry %d/%d/%d", c.Name, c.SizeBytes, c.LineBytes, c.Assoc)
+	case bits.OnesCount(uint(c.LineBytes)) != 1:
+		return fmt.Errorf("cache %q: LineBytes %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("cache %q: size %d not divisible by assoc*line %d", c.Name, c.SizeBytes, c.LineBytes*c.Assoc)
+	case bits.OnesCount(uint(c.SizeBytes/(c.LineBytes*c.Assoc))) != 1:
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, c.SizeBytes/(c.LineBytes*c.Assoc))
+	case c.HitCycles < 0:
+		return fmt.Errorf("cache %q: negative HitCycles", c.Name)
+	}
+	return nil
+}
+
+// Sets reports the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+type line struct {
+	tag     uint64 // line address (addr >> lineShift); valid only if state != Invalid
+	state   State
+	lastUse uint64
+}
+
+// Stats counts cache events. All counters are cumulative since the last
+// Reset.
+type Stats struct {
+	Reads, Writes           int64 // accesses by kind
+	ReadMisses, WriteMisses int64
+	Upgrades                int64 // write hits on Shared needing bus upgrade
+	Writebacks              int64 // dirty evictions
+	Evictions               int64 // all evictions of valid lines
+	SnoopReads, SnoopInvals int64 // snoops that found the line
+	SuppliedCacheToCache    int64 // snooped reads answered from Modified
+	InvalidationsReceived   int64 // lines killed by remote writes
+}
+
+// HitRate reports combined read+write hit rate; 0 if no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.ReadMisses+s.WriteMisses)/float64(total)
+}
+
+// Cache is one cache instance.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	lines     []line // sets*assoc, set-major
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache. It panics on invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		assoc:     cfg.Assoc,
+		lines:     make([]line, sets*cfg.Assoc),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr maps a byte address to its line address (tag granularity).
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) set(lineAddr uint64) []line {
+	base := int(lineAddr&c.setMask) * c.assoc
+	return c.lines[base : base+c.assoc]
+}
+
+func find(set []line, tag uint64) *line {
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Outcome classifies an access against the local cache.
+type Outcome uint8
+
+const (
+	// Hit: the access completed locally.
+	Hit Outcome = iota
+	// HitNeedsUpgrade: a write hit a Shared line; the caller must win a
+	// bus address phase (invalidating other copies) before the line can
+	// become Modified. Call CompleteUpgrade afterwards.
+	HitNeedsUpgrade
+	// Miss: the line is not present; the caller must obtain it (from the
+	// next level or a peer cache) and call Fill.
+	Miss
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case HitNeedsUpgrade:
+		return "hit-upgrade"
+	case Miss:
+		return "miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Access classifies a read or write of addr and applies the purely local
+// state transitions (E→M on write hit, LRU update, counters).
+func (c *Cache) Access(addr uint64, write bool) Outcome {
+	la := c.LineAddr(addr)
+	set := c.set(la)
+	c.clock++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	ln := find(set, la)
+	if ln == nil {
+		if write {
+			c.stats.WriteMisses++
+		} else {
+			c.stats.ReadMisses++
+		}
+		return Miss
+	}
+	ln.lastUse = c.clock
+	if !write {
+		return Hit
+	}
+	switch ln.state {
+	case Modified:
+		return Hit
+	case Exclusive:
+		ln.state = Modified // silent upgrade, no bus traffic
+		return Hit
+	default: // Shared
+		c.stats.Upgrades++
+		return HitNeedsUpgrade
+	}
+}
+
+// CompleteUpgrade marks a Shared line Modified after the caller has won
+// the invalidating bus phase. It panics if the line is not present: that
+// would mean the protocol lost the line between Access and the bus grant,
+// which the node models (atomic bus phases) never allow.
+func (c *Cache) CompleteUpgrade(addr uint64) {
+	la := c.LineAddr(addr)
+	ln := find(c.set(la), la)
+	if ln == nil {
+		panic(fmt.Sprintf("cache %s: CompleteUpgrade on absent line %#x", c.cfg.Name, la))
+	}
+	ln.state = Modified
+}
+
+// Victim describes an eviction produced by Fill.
+type Victim struct {
+	LineAddr uint64
+	Dirty    bool // Modified: must be written back
+	Valid    bool // false when an Invalid way was used
+}
+
+// Fill installs the line containing addr with the given state, evicting
+// the LRU way if the set is full. The caller decides the fill state from
+// the bus transaction (Exclusive for an unshared read fill, Shared when a
+// peer holds it, Modified for a write fill).
+func (c *Cache) Fill(addr uint64, st State) Victim {
+	if st == Invalid {
+		panic(fmt.Sprintf("cache %s: Fill with Invalid state", c.cfg.Name))
+	}
+	la := c.LineAddr(addr)
+	set := c.set(la)
+	c.clock++
+	if ln := find(set, la); ln != nil {
+		// Refill of a present line (e.g. upgrade-with-data); just update.
+		ln.state = st
+		ln.lastUse = c.clock
+		return Victim{}
+	}
+	// Prefer an invalid way; otherwise evict LRU.
+	victim := &set[0]
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	out := Victim{}
+	if victim.state != Invalid {
+		out = Victim{LineAddr: victim.tag, Dirty: victim.state == Modified, Valid: true}
+		c.stats.Evictions++
+		if out.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	victim.tag = la
+	victim.state = st
+	victim.lastUse = c.clock
+	return out
+}
+
+// Lookup reports the state of the line containing addr without touching
+// LRU or counters. Used by snoop logic and tests.
+func (c *Cache) Lookup(addr uint64) State {
+	la := c.LineAddr(addr)
+	if ln := find(c.set(la), la); ln != nil {
+		return ln.state
+	}
+	return Invalid
+}
+
+// SnoopResult describes what a snooped cache contributed.
+type SnoopResult struct {
+	Had      bool // line was present
+	Supplied bool // line was Modified: this cache supplies the data
+}
+
+// Snoop applies a remote bus transaction to this cache. For a read snoop
+// (exclusive=false) a Modified or Exclusive line degrades to Shared and a
+// Modified line supplies the data (cache-to-cache transfer, a feature the
+// MPC620 bus protocol supports directly). For a write snoop
+// (exclusive=true) any copy is invalidated.
+func (c *Cache) Snoop(addr uint64, exclusive bool) SnoopResult {
+	la := c.LineAddr(addr)
+	ln := find(c.set(la), la)
+	if ln == nil {
+		return SnoopResult{}
+	}
+	res := SnoopResult{Had: true, Supplied: ln.state == Modified}
+	if exclusive {
+		ln.state = Invalid
+		c.stats.SnoopInvals++
+		c.stats.InvalidationsReceived++
+	} else {
+		if res.Supplied {
+			c.stats.SuppliedCacheToCache++
+		}
+		ln.state = Shared
+		c.stats.SnoopReads++
+	}
+	return res
+}
+
+// InvalidateAll clears every line (used between benchmark repetitions to
+// model a cold start). Dirty data is discarded; callers that care about
+// writeback traffic should drain via Fill pressure instead.
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Occupancy reports how many lines are currently valid.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

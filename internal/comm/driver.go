@@ -1,0 +1,198 @@
+package comm
+
+import (
+	"fmt"
+
+	"powermanna/internal/sim"
+)
+
+// runDriverSim simulates a steady stream of n-byte messages between two
+// PowerMANNA nodes at FIFO granularity and returns the achieved payload
+// bandwidth per direction (bytes/second).
+//
+// The model has five actors: two driver CPUs (one per node, each a
+// single thread doing program-controlled I/O) and two link directions,
+// plus the four link-interface FIFOs between them. The link moves bytes
+// whenever its upstream send FIFO holds data and its downstream receive
+// FIFO has space — the stop-signal flow control of Section 3.2. The CPUs
+// run the driver loop of Section 5.2: fill the send FIFO (at most its
+// four lines), turn around, test the receive FIFO, drain what arrived,
+// turn around again. In unidirectional mode each CPU only works its own
+// side and polls instead of switching.
+//
+// Time advances in fixed 25 ns steps: link transfers are fluid within a
+// step; CPU actions are discrete with their own durations.
+func runDriverSim(p PMParams, msgBytes int, bidirectional bool) float64 {
+	if msgBytes <= 0 {
+		panic(fmt.Sprintf("comm: message size %d", msgBytes))
+	}
+	const (
+		stepNs   = 25.0
+		lineSize = 64
+		// header bytes per message on the wire (route, length, CRC, close
+		// for the one-crossbar cluster path).
+		hdrBytes = 6
+	)
+	total := 20 * msgBytes
+	if total < 256<<10 {
+		total = 256 << 10
+	}
+	if total > 2<<20 {
+		total = (2 << 20) / msgBytes * msgBytes
+		if total == 0 {
+			total = msgBytes
+		}
+	}
+
+	// Effective payload rate of one link direction: 60 MB/s scaled by
+	// payload share of the wire bytes, times the striped link count.
+	wireRate := 60e6 * float64(msgBytes) / float64(msgBytes+hdrBytes) * float64(p.Links) // B/s
+	ratePerStep := wireRate * stepNs * 1e-9
+
+	cycleNs := float64(p.CPUClock.Period) / float64(sim.Nanosecond)
+	pioWriteNs := float64(p.PIOWriteLine) / float64(sim.Nanosecond)
+	pioReadNs := float64(p.PIOReadLine) / float64(sim.Nanosecond)
+	switchNs := float64(p.DirectionSwitchCycles) * cycleNs
+	pollNs := float64(p.PollCycles) * cycleNs
+	sendMsgNs := float64(p.GapSendCycles) * cycleNs
+	recvMsgNs := float64(p.GapRecvCycles) * cycleNs
+	fifoCap := p.FIFOBytes * p.Links
+
+	const (
+		phaseFill = iota
+		phaseDrain
+	)
+	type cpu struct {
+		sendLeft  int // payload bytes not yet pushed
+		recvLeft  int // payload bytes not yet drained
+		sendFIFO  int // occupancy of this node's send FIFO
+		recvFIFO  int // occupancy of this node's receive FIFO
+		busyUntil float64
+		phase     int
+		sentInMsg int
+		recvInMsg int
+	}
+
+	nodes := [2]*cpu{
+		{sendLeft: total, recvLeft: total},
+		{recvLeft: total},
+	}
+	if bidirectional {
+		nodes[1].sendLeft = total
+	} else {
+		nodes[0].recvLeft = 0 // node 0 only sends, node 1 only receives
+		nodes[1].recvLeft = total
+		nodes[1].phase = phaseDrain
+	}
+
+	now := 0.0
+	var credit [2]float64
+	maxSteps := 200_000_000
+	for step := 0; step < maxSteps; step++ {
+		// Links: node i's send FIFO drains toward peer's receive FIFO.
+		// Rate credit accrues only while the wire has work and the stop
+		// signal is clear; whole bytes move.
+		for i := 0; i < 2; i++ {
+			src, dst := nodes[i], nodes[1-i]
+			space := fifoCap - dst.recvFIFO
+			if src.sendFIFO <= 0 || space <= 0 {
+				credit[i] = 0 // idle or stopped wire accrues nothing
+				continue
+			}
+			credit[i] += ratePerStep
+			move := int(credit[i])
+			if move > src.sendFIFO {
+				move = src.sendFIFO
+			}
+			if move > space {
+				move = space
+			}
+			if move > 0 {
+				credit[i] -= float64(move)
+				src.sendFIFO -= move
+				dst.recvFIFO += move
+			}
+		}
+
+		// CPUs.
+		for i := 0; i < 2; i++ {
+			c := nodes[i]
+			if now < c.busyUntil {
+				continue
+			}
+			switch {
+			case c.phase == phaseFill && c.sendLeft > 0:
+				if fifoCap-c.sendFIFO >= lineSize || (c.sendLeft < lineSize && fifoCap-c.sendFIFO >= c.sendLeft) {
+					push := lineSize
+					if c.sendLeft < push {
+						push = c.sendLeft
+					}
+					cost := pioWriteNs
+					if c.sentInMsg == 0 {
+						cost += sendMsgNs
+					}
+					c.sentInMsg += push
+					if c.sentInMsg >= msgBytes {
+						c.sentInMsg = 0
+					}
+					c.sendFIFO += push
+					c.sendLeft -= push
+					c.busyUntil = now + cost
+				} else if bidirectional && c.recvLeft > 0 {
+					c.phase = phaseDrain
+					c.busyUntil = now + switchNs
+				} else {
+					c.busyUntil = now + pollNs // wait for FIFO space
+				}
+			case c.phase == phaseFill: // nothing left to send
+				if bidirectional && c.recvLeft > 0 {
+					c.phase = phaseDrain
+					c.busyUntil = now + switchNs
+				} else {
+					c.busyUntil = now + pollNs
+				}
+			case c.recvLeft > 0 && (c.recvFIFO >= lineSize || (c.recvFIFO > 0 && c.recvLeft <= c.recvFIFO)):
+				drain := lineSize
+				if c.recvFIFO < drain {
+					drain = c.recvFIFO
+				}
+				if c.recvLeft < drain {
+					drain = c.recvLeft
+				}
+				cost := pioReadNs
+				if c.recvInMsg == 0 {
+					cost += recvMsgNs
+				}
+				c.recvInMsg += drain
+				if c.recvInMsg >= msgBytes {
+					c.recvInMsg = 0
+				}
+				c.recvFIFO -= drain
+				c.recvLeft -= drain
+				c.busyUntil = now + cost
+			default: // drain phase, nothing available
+				if c.sendLeft > 0 {
+					c.phase = phaseFill
+					c.busyUntil = now + switchNs
+				} else {
+					c.busyUntil = now + pollNs
+				}
+			}
+		}
+
+		now += stepNs
+		done := true
+		for i := 0; i < 2; i++ {
+			if nodes[i].sendLeft > 0 || nodes[i].recvLeft > 0 || nodes[i].sendFIFO > 0 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if now <= 0 {
+		return 0
+	}
+	return float64(total) / (now * 1e-9)
+}

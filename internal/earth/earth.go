@@ -1,0 +1,402 @@
+// Package earth is a fine-grain multithreaded runtime in the style of
+// the EARTH system (Hum, Maquelin, Theobald, Tian, Gao, Hendren — the
+// paper's reference [18]), which Section 7 names as the lightweight
+// communication software being ported to PowerMANNA: "for the forerunner
+// MANNA machine, the EARTH system was shown to offer low communication
+// cost close to the hardware limits."
+//
+// The EARTH model splits programs into *fibers* — short threads that run
+// to completion without blocking — synchronized through *sync slots*:
+// counters that, on reaching zero, enable a continuation fiber. All
+// long-latency actions are split-phase: GET_SYNC fetches a remote word
+// and decrements a slot when the reply lands; DATA_SYNC writes a word
+// and decrements a slot; INVOKE spawns a threaded procedure on any node.
+//
+// On EARTH-MANNA the two CPUs of a node divide the work: one runs the
+// Execution Unit (EU, runs fibers), the other the Synchronization Unit
+// (SU, services tokens and remote requests). The PowerMANNA node
+// inherits that split, and this simulation models it the same way: per
+// node an EU timeline and an SU timeline, with control messages carried
+// by the simulated crossbar network of internal/netsim.
+//
+// Everything is functional and timed at once: fibers execute real Go
+// code against per-node simulated memory, while their costs and every
+// token's network transit advance simulated time through one
+// deterministic event scheduler.
+package earth
+
+import (
+	"fmt"
+
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// Params are the runtime's cost constants, calibrated to the EARTH-MANNA
+// measurements of reference [18] (fiber switches of tens of cycles,
+// split-phase remote operations bounded by network latency).
+type Params struct {
+	// CPUClock is the node processor clock (MPC620, 180 MHz).
+	CPUClock sim.Clock
+	// FiberDispatchCycles is the EU cost to enable and dispatch a fiber.
+	FiberDispatchCycles int64
+	// SpawnCycles is the EU cost to create and post a token.
+	SpawnCycles int64
+	// SUOpCycles is the SU cost to service one token or remote request.
+	SUOpCycles int64
+	// CtrlBytes is the size of a control token on the wire (opcode,
+	// addresses, payload word, slot reference).
+	CtrlBytes int
+}
+
+// DefaultParams returns the calibrated EARTH-on-PowerMANNA constants.
+func DefaultParams() Params {
+	return Params{
+		CPUClock:            sim.ClockMHz(180),
+		FiberDispatchCycles: 40, // calibrated: EARTH fiber switch
+		SpawnCycles:         60, // calibrated: token creation + post
+		SUOpCycles:          50, // calibrated: SU service per token
+		CtrlBytes:           24,
+	}
+}
+
+// ProcID identifies a registered threaded procedure.
+type ProcID int
+
+// Proc is a threaded-procedure body: a fiber that runs to completion,
+// issuing split-phase operations through the context.
+type Proc func(ctx *Ctx, args []int64)
+
+// SlotRef names a sync slot on a node.
+type SlotRef struct {
+	Node int
+	ID   uint64
+}
+
+// System is one EARTH machine: a set of nodes over a simulated
+// interconnect.
+type System struct {
+	params Params
+	sched  *sim.Scheduler
+	net    *netsim.Network
+	topo   *topo.Topology
+	nodes  []*nodeState
+	procs  []Proc
+
+	fibersRun int64
+	tokens    int64
+	remote    int64
+}
+
+type fiberInst struct {
+	proc ProcID
+	args []int64
+}
+
+type syncSlot struct {
+	count int
+	cont  fiberInst
+}
+
+type nodeState struct {
+	id      int
+	euFree  sim.Time
+	suFree  sim.Time
+	euIdle  bool
+	ready   []fiberInst
+	mem     map[uint64]int64
+	slots   map[uint64]*syncSlot
+	nextSlt uint64
+	nextBuf uint64
+}
+
+// New builds an EARTH system over a topology.
+func New(t *topo.Topology, p Params) *System {
+	s := &System{
+		params: p,
+		sched:  sim.NewScheduler(),
+		net:    netsim.New(t),
+		topo:   t,
+	}
+	for i := 0; i < t.Nodes(); i++ {
+		s.nodes = append(s.nodes, &nodeState{
+			id:     i,
+			euIdle: true,
+			mem:    make(map[uint64]int64),
+			slots:  make(map[uint64]*syncSlot),
+			// Buffers allocate downward from a high watermark so they
+			// never collide with program addresses.
+			nextBuf: 1 << 40,
+		})
+	}
+	return s
+}
+
+// Register adds a threaded procedure and returns its ID. All procedures
+// must be registered before Run.
+func (s *System) Register(p Proc) ProcID {
+	s.procs = append(s.procs, p)
+	return ProcID(len(s.procs) - 1)
+}
+
+// Nodes reports the node count.
+func (s *System) Nodes() int { return len(s.nodes) }
+
+// Mem reads a word of node n's memory after (or during) a run.
+func (s *System) Mem(n int, addr uint64) int64 { return s.nodes[n].mem[addr] }
+
+// SetMem initializes node memory before a run.
+func (s *System) SetMem(n int, addr uint64, v int64) { s.nodes[n].mem[addr] = v }
+
+// Stats reports execution counters.
+type Stats struct {
+	FibersRun     int64
+	Tokens        int64
+	RemoteTokens  int64
+	SimulatedTime sim.Time
+}
+
+// Stats returns the accumulated counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		FibersRun:     s.fibersRun,
+		Tokens:        s.tokens,
+		RemoteTokens:  s.remote,
+		SimulatedTime: s.makespan(),
+	}
+}
+
+func (s *System) cycles(n int64) sim.Time { return s.params.CPUClock.Cycles(n) }
+
+// Invoke posts the initial token: proc runs on node with args at t=0.
+func (s *System) Invoke(node int, proc ProcID, args ...int64) {
+	s.enqueueFiber(node, fiberInst{proc: proc, args: args}, 0)
+}
+
+// Run drains the event queue and returns the simulated makespan: the
+// latest EU or SU completion across all nodes (the last event's firing
+// time alone misses work the final fiber performed).
+func (s *System) Run() sim.Time {
+	s.sched.Run()
+	return s.makespan()
+}
+
+func (s *System) makespan() sim.Time {
+	var m sim.Time
+	for _, ns := range s.nodes {
+		m = sim.Max(m, sim.Max(ns.euFree, ns.suFree))
+	}
+	return m
+}
+
+// enqueueFiber makes a fiber ready on a node at time t and kicks the EU
+// if it is idle.
+func (s *System) enqueueFiber(node int, f fiberInst, t sim.Time) {
+	ns := s.nodes[node]
+	ns.ready = append(ns.ready, f)
+	s.kickEU(node, t)
+}
+
+func (s *System) kickEU(node int, t sim.Time) {
+	ns := s.nodes[node]
+	if !ns.euIdle || len(ns.ready) == 0 {
+		return
+	}
+	ns.euIdle = false
+	start := sim.Max(t, ns.euFree)
+	s.sched.At(start, func() { s.runFiber(node) })
+}
+
+// runFiber pops and executes one ready fiber on the node's EU.
+func (s *System) runFiber(node int) {
+	ns := s.nodes[node]
+	if len(ns.ready) == 0 {
+		ns.euIdle = true
+		return
+	}
+	f := ns.ready[0]
+	ns.ready = ns.ready[1:]
+	s.fibersRun++
+
+	ctx := &Ctx{sys: s, node: node, now: sim.Max(s.sched.Now(), ns.euFree)}
+	ctx.now += s.cycles(s.params.FiberDispatchCycles)
+	s.procs[f.proc](ctx, f.args)
+	ns.euFree = ctx.now
+
+	if len(ns.ready) > 0 {
+		s.sched.At(ns.euFree, func() { s.runFiber(node) })
+	} else {
+		ns.euIdle = true
+	}
+}
+
+// token kinds carried between (and within) nodes.
+type tokenKind uint8
+
+const (
+	tokInvoke tokenKind = iota
+	tokDataSync
+	tokGetReq
+)
+
+type token struct {
+	kind tokenKind
+	// invoke
+	proc ProcID
+	args []int64
+	// data_sync / get reply target
+	addr  uint64
+	value int64
+	slot  SlotRef
+	// get request
+	replyTo SlotRef
+	reply   uint64 // destination buffer address on the requester
+}
+
+// post routes a token from node src at local time t: locally straight to
+// the SU, remotely across the simulated network (both links of the
+// duplicated system belong to the application here; plane A is used).
+func (s *System) post(src, dst int, tk token, t sim.Time) {
+	s.tokens++
+	if src == dst {
+		s.suService(dst, tk, t)
+		return
+	}
+	s.remote++
+	path, err := s.topo.Route(src, dst, topo.NetworkA)
+	if err != nil {
+		panic(fmt.Sprintf("earth: %v", err))
+	}
+	tr, err := s.net.Send(t, path, s.params.CtrlBytes)
+	if err != nil {
+		panic(fmt.Sprintf("earth: %v", err))
+	}
+	s.sched.At(tr.LastByte, func() { s.suService(dst, tk, s.sched.Now()) })
+}
+
+// suService processes a token on the destination node's SU.
+func (s *System) suService(node int, tk token, t sim.Time) {
+	ns := s.nodes[node]
+	start := sim.Max(t, ns.suFree)
+	done := start + s.cycles(s.params.SUOpCycles)
+	ns.suFree = done
+
+	switch tk.kind {
+	case tokInvoke:
+		s.enqueueFiber(node, fiberInst{proc: tk.proc, args: tk.args}, done)
+	case tokDataSync:
+		ns.mem[tk.addr] = tk.value
+		s.decSlot(tk.slot, done)
+	case tokGetReq:
+		v := ns.mem[tk.addr]
+		s.post(node, tk.replyTo.Node, token{
+			kind:  tokDataSync,
+			addr:  tk.reply,
+			value: v,
+			slot:  tk.replyTo,
+		}, done)
+	}
+}
+
+// decSlot decrements a sync slot, firing its continuation at zero.
+func (s *System) decSlot(ref SlotRef, t sim.Time) {
+	ns := s.nodes[ref.Node]
+	slot, ok := ns.slots[ref.ID]
+	if !ok {
+		panic(fmt.Sprintf("earth: node %d slot %d does not exist", ref.Node, ref.ID))
+	}
+	slot.count--
+	if slot.count < 0 {
+		panic(fmt.Sprintf("earth: node %d slot %d over-decremented", ref.Node, ref.ID))
+	}
+	if slot.count == 0 {
+		delete(ns.slots, ref.ID)
+		s.enqueueFiber(ref.Node, slot.cont, t)
+	}
+}
+
+// Ctx is a fiber's handle on the runtime. A fiber runs on one node's EU;
+// its operations advance the fiber-local clock and post tokens.
+type Ctx struct {
+	sys  *System
+	node int
+	now  sim.Time
+}
+
+// Node reports the executing node.
+func (c *Ctx) Node() int { return c.sys.nodes[c.node].id }
+
+// Nodes reports the machine size.
+func (c *Ctx) Nodes() int { return len(c.sys.nodes) }
+
+// Now reports the fiber-local simulated time.
+func (c *Ctx) Now() sim.Time { return c.now }
+
+// Charge accounts local computation in CPU cycles.
+func (c *Ctx) Charge(cycles int64) { c.now += c.sys.cycles(cycles) }
+
+// Read reads a word of the local node memory (EU-local, no token).
+func (c *Ctx) Read(addr uint64) int64 {
+	c.Charge(2)
+	return c.sys.nodes[c.node].mem[addr]
+}
+
+// Write writes a word of local node memory (EU-local, no token).
+func (c *Ctx) Write(addr uint64, v int64) {
+	c.Charge(1)
+	c.sys.nodes[c.node].mem[addr] = v
+}
+
+// AllocBuf reserves a fresh local buffer address.
+func (c *Ctx) AllocBuf() uint64 {
+	ns := c.sys.nodes[c.node]
+	ns.nextBuf--
+	return ns.nextBuf
+}
+
+// SyncSlot creates a sync slot on this node that, after count
+// decrements, enables proc with args.
+func (c *Ctx) SyncSlot(count int, proc ProcID, args ...int64) SlotRef {
+	if count <= 0 {
+		panic(fmt.Sprintf("earth: sync slot count %d", count))
+	}
+	c.Charge(6)
+	ns := c.sys.nodes[c.node]
+	ns.nextSlt++
+	ns.slots[ns.nextSlt] = &syncSlot{count: count, cont: fiberInst{proc: proc, args: args}}
+	return SlotRef{Node: c.node, ID: ns.nextSlt}
+}
+
+// Invoke spawns a threaded procedure on a node (split-phase; the fiber
+// continues immediately).
+func (c *Ctx) Invoke(node int, proc ProcID, args ...int64) {
+	c.Charge(c.sys.params.SpawnCycles)
+	c.sys.post(c.node, node, token{kind: tokInvoke, proc: proc, args: args}, c.now)
+}
+
+// DataSync writes value to (node, addr) and decrements slot when the
+// write lands — EARTH's split-phase store-with-synchronization.
+func (c *Ctx) DataSync(node int, addr uint64, value int64, slot SlotRef) {
+	if slot.Node != node {
+		panic("earth: DataSync slot must live on the written node")
+	}
+	c.Charge(c.sys.params.SpawnCycles)
+	c.sys.post(c.node, node, token{kind: tokDataSync, addr: addr, value: value, slot: slot}, c.now)
+}
+
+// GetSync fetches (node, addr) into local buffer dst and decrements slot
+// (which must live on this node) when the reply lands — EARTH's
+// split-phase load.
+func (c *Ctx) GetSync(node int, addr uint64, dst uint64, slot SlotRef) {
+	if slot.Node != c.node {
+		panic("earth: GetSync slot must live on the requesting node")
+	}
+	c.Charge(c.sys.params.SpawnCycles)
+	c.sys.post(c.node, node, token{
+		kind:    tokGetReq,
+		addr:    addr,
+		reply:   dst,
+		replyTo: slot,
+	}, c.now)
+}

@@ -1,0 +1,191 @@
+package earth
+
+import (
+	"testing"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+func singleNode() *topo.Topology { return topo.New("single", 1) }
+
+func TestLocalInvokeAndCharge(t *testing.T) {
+	s := New(singleNode(), DefaultParams())
+	ran := false
+	proc := s.Register(func(ctx *Ctx, args []int64) {
+		ran = true
+		if args[0] != 42 {
+			t.Errorf("args = %v", args)
+		}
+		ctx.Charge(1000)
+		ctx.Write(7, args[0])
+	})
+	s.Invoke(0, proc, 42)
+	makespan := s.Run()
+	if !ran {
+		t.Fatal("fiber did not run")
+	}
+	if s.Mem(0, 7) != 42 {
+		t.Error("local write lost")
+	}
+	// Dispatch (40) + charge (1000) + write (1) cycles at 180 MHz ≈ 5.8 µs.
+	if makespan < 5*sim.Microsecond || makespan > 7*sim.Microsecond {
+		t.Errorf("makespan = %v, want ~5.8us", makespan)
+	}
+	if s.Stats().FibersRun != 1 {
+		t.Errorf("FibersRun = %d", s.Stats().FibersRun)
+	}
+}
+
+func TestSyncSlotFiresOnceAtZero(t *testing.T) {
+	s := New(singleNode(), DefaultParams())
+	fired := 0
+	cont := s.Register(func(ctx *Ctx, args []int64) { fired++ })
+	main := s.Register(func(ctx *Ctx, args []int64) {
+		slot := ctx.SyncSlot(3, cont)
+		for i := 0; i < 3; i++ {
+			ctx.DataSync(0, uint64(100+i), int64(i), slot)
+		}
+	})
+	s.Invoke(0, main)
+	s.Run()
+	if fired != 1 {
+		t.Errorf("continuation fired %d times, want 1", fired)
+	}
+	for i := 0; i < 3; i++ {
+		if s.Mem(0, uint64(100+i)) != int64(i) {
+			t.Errorf("mem[%d] = %d", 100+i, s.Mem(0, uint64(100+i)))
+		}
+	}
+}
+
+func TestRemoteGetSync(t *testing.T) {
+	s := New(topo.Cluster8(), DefaultParams())
+	s.SetMem(3, 500, 777)
+	var got int64
+	var latency sim.Time
+	var start sim.Time
+	read := s.Register(func(ctx *Ctx, args []int64) {
+		got = ctx.Read(uint64(args[0]))
+		latency = ctx.Now() - start
+	})
+	main := s.Register(func(ctx *Ctx, args []int64) {
+		buf := ctx.AllocBuf()
+		slot := ctx.SyncSlot(1, read, int64(buf))
+		start = ctx.Now()
+		ctx.GetSync(3, 500, buf, slot)
+	})
+	s.Invoke(0, main)
+	s.Run()
+	if got != 777 {
+		t.Fatalf("GetSync returned %d, want 777", got)
+	}
+	// Split-phase round trip: two control tokens through one crossbar
+	// plus SU/EU handling — single-digit microseconds, the "low
+	// communication cost close to the hardware limits" of [18].
+	if latency < 1*sim.Microsecond || latency > 10*sim.Microsecond {
+		t.Errorf("remote get round trip = %v, want a few us", latency)
+	}
+	if s.Stats().RemoteTokens != 2 {
+		t.Errorf("remote tokens = %d, want 2 (request + reply)", s.Stats().RemoteTokens)
+	}
+}
+
+func TestFibCorrectness(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 5, 10, 15} {
+		s := New(topo.Cluster8(), DefaultParams())
+		got, _ := RunFib(s, n)
+		if want := FibReference(n); got != want {
+			t.Errorf("fib(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFibParallelSpeedup(t *testing.T) {
+	const n = 18
+	s1 := New(singleNode(), DefaultParams())
+	v1, t1 := RunFib(s1, n)
+	s8 := New(topo.Cluster8(), DefaultParams())
+	v8, t8 := RunFib(s8, n)
+	if v1 != v8 || v1 != FibReference(n) {
+		t.Fatalf("values diverge: %d vs %d", v1, v8)
+	}
+	speedup := float64(t1) / float64(t8)
+	if speedup < 2 {
+		t.Errorf("8-node speedup = %.2f, want > 2", speedup)
+	}
+	if s8.Stats().RemoteTokens == 0 {
+		t.Error("no remote tokens despite 8 nodes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		s := New(topo.Cluster8(), DefaultParams())
+		_, makespan := RunFib(s, 14)
+		return makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSlotMisusePanics(t *testing.T) {
+	s := New(topo.Cluster8(), DefaultParams())
+	cont := s.Register(func(ctx *Ctx, args []int64) {})
+	cases := map[string]Proc{
+		"zero-count slot": func(ctx *Ctx, args []int64) {
+			ctx.SyncSlot(0, cont)
+		},
+		"foreign DataSync slot": func(ctx *Ctx, args []int64) {
+			slot := ctx.SyncSlot(1, cont)
+			ctx.DataSync(1, 10, 5, slot) // slot lives on node 0, write to node 1
+		},
+		"foreign GetSync slot": func(ctx *Ctx, args []int64) {
+			ctx.GetSync(1, 10, 20, SlotRef{Node: 1, ID: 1})
+		},
+	}
+	for name, body := range cases {
+		s := New(topo.Cluster8(), DefaultParams())
+		proc := s.Register(body)
+		s.Invoke(0, proc)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			s.Run()
+		}()
+	}
+	_ = s
+}
+
+func TestOverDecrementPanics(t *testing.T) {
+	s := New(singleNode(), DefaultParams())
+	cont := s.Register(func(ctx *Ctx, args []int64) {})
+	main := s.Register(func(ctx *Ctx, args []int64) {
+		slot := ctx.SyncSlot(1, cont)
+		ctx.DataSync(0, 1, 1, slot)
+		ctx.DataSync(0, 2, 2, slot) // second decrement: slot already gone
+	})
+	s.Invoke(0, main)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-decrement did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestEUSerializesFibers(t *testing.T) {
+	// Two heavy fibers on one node run back to back on the single EU.
+	s := New(singleNode(), DefaultParams())
+	heavy := s.Register(func(ctx *Ctx, args []int64) { ctx.Charge(180_000) }) // 1 ms
+	s.Invoke(0, heavy)
+	s.Invoke(0, heavy)
+	makespan := s.Run()
+	if makespan < 2*sim.Millisecond {
+		t.Errorf("two 1 ms fibers finished in %v, want >= 2ms (one EU)", makespan)
+	}
+}

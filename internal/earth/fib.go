@@ -1,0 +1,85 @@
+package earth
+
+import "powermanna/internal/sim"
+
+// Fib is the classic EARTH benchmark (used throughout reference [18]):
+// doubly recursive Fibonacci where every call level is a threaded
+// procedure, children spread across the machine, and results flow back
+// through DATA_SYNC tokens into sync slots. It exercises exactly what
+// EARTH is for — huge numbers of tiny fibers whose cost is dominated by
+// token handling and network latency.
+
+// fibLocalCutoff keeps the smallest subtrees on the spawning node; below
+// this size the spawn/token overhead outweighs any parallelism.
+const fibLocalCutoff = 8
+
+// resultAddr is where RunFib's final value lands on node 0.
+const resultAddr = 1
+
+// FibProgram holds the registered procedure IDs for one System.
+type FibProgram struct {
+	fib, sum, done ProcID
+}
+
+// InstallFib registers the Fibonacci program into a system.
+func InstallFib(s *System) *FibProgram {
+	p := &FibProgram{}
+	p.fib = s.Register(func(ctx *Ctx, args []int64) {
+		n, pNode, pAddr, pSlot := args[0], int(args[1]), uint64(args[2]), uint64(args[3])
+		ctx.Charge(15)
+		if n < 2 {
+			ctx.DataSync(pNode, pAddr, n, SlotRef{Node: pNode, ID: pSlot})
+			return
+		}
+		a, b := ctx.AllocBuf(), ctx.AllocBuf()
+		slot := ctx.SyncSlot(2, p.sum, int64(a), int64(b), int64(pNode), int64(pAddr), int64(pSlot))
+		left := ctx.Node()
+		right := ctx.Node()
+		if n >= fibLocalCutoff {
+			// Spread the right subtree; the left stays local. The offset
+			// varies with n so successive levels land on distinct nodes.
+			right = (ctx.Node() + int(n)) % ctx.Nodes()
+		}
+		ctx.Invoke(left, p.fib, n-1, int64(ctx.Node()), int64(a), int64(slot.ID))
+		ctx.Invoke(right, p.fib, n-2, int64(ctx.Node()), int64(b), int64(slot.ID))
+	})
+	p.sum = s.Register(func(ctx *Ctx, args []int64) {
+		a, b := uint64(args[0]), uint64(args[1])
+		pNode, pAddr, pSlot := int(args[2]), uint64(args[3]), uint64(args[4])
+		ctx.Charge(6)
+		v := ctx.Read(a) + ctx.Read(b)
+		ctx.DataSync(pNode, pAddr, v, SlotRef{Node: pNode, ID: pSlot})
+	})
+	p.done = s.Register(func(ctx *Ctx, args []int64) {
+		// The result already sits at resultAddr; nothing left to do.
+	})
+	return p
+}
+
+// Start posts the root call: fib(n) with the result delivered to
+// (node 0, resultAddr). Call before System.Run.
+func (p *FibProgram) Start(s *System, n int64) {
+	main := s.Register(func(ctx *Ctx, args []int64) {
+		slot := ctx.SyncSlot(1, p.done)
+		ctx.Invoke(ctx.Node(), p.fib, args[0], int64(ctx.Node()), resultAddr, int64(slot.ID))
+	})
+	s.Invoke(0, main, n)
+}
+
+// RunFib builds, runs and reads back fib(n) on a system, returning the
+// value and the simulated makespan.
+func RunFib(s *System, n int64) (int64, sim.Time) {
+	p := InstallFib(s)
+	p.Start(s, n)
+	makespan := s.Run()
+	return s.Mem(0, resultAddr), makespan
+}
+
+// FibReference computes fib(n) directly for validation.
+func FibReference(n int64) int64 {
+	a, b := int64(0), int64(1)
+	for i := int64(0); i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"powermanna/internal/dispatch"
+	"powermanna/internal/stats"
+)
+
+// DispatcherAblation exercises the protocol engine behind the node's
+// patented centerpiece (Figures 2–3): the central dispatcher that keeps
+// "pipelining, split transactions, intervention, out-of-order
+// bus-transfer completion as well as the snoop protocols" transparent to
+// the other units. The ablation answers: how much of the node's
+// transaction throughput comes from each MPC620 bus feature the paper
+// credits — transaction pipelining and tagged out-of-order completion?
+//
+// Workload: two masters issue interleaved coherent reads; half the lines
+// are owned Modified by a peer (intervention supplies them in 4 bus
+// cycles) and half come from memory (14 cycles). Reported: bus cycles
+// per completed transaction for each dispatcher build.
+func DispatcherAblation(opt Options) Result {
+	txns := 2000
+	if opt.Quick {
+		txns = 400
+	}
+
+	run := func(cfg dispatch.Config) (cyclesPerTxn float64, ooo int64) {
+		d := dispatch.New(cfg, func(t *dispatch.Txn) bool {
+			// Alternate fast (cache-to-cache) and slow (memory) lines
+			// within each master's stream, so tagged reordering has
+			// something to reorder.
+			return (t.LineAddr/64)%4 < 2
+		})
+		for i := 0; i < txns; i++ {
+			d.Submit(i%cfg.Masters, dispatch.Read, uint64(i*64))
+		}
+		cycle, ok := d.RunUntilIdle(int64(txns) * 100)
+		if !ok {
+			panic("dispatch: ablation did not drain")
+		}
+		return float64(cycle) / float64(txns), d.Stats().OutOfOrderReturns
+	}
+
+	fig := &stats.Figure{
+		Title:  "Ablation: dispatcher pipelining and out-of-order completion",
+		XLabel: "pipeline depth",
+		YLabel: "bus cycles per transaction",
+	}
+	oooSeries := stats.Series{Name: "out-of-order (MPC620)"}
+	inoSeries := stats.Series{Name: "in-order"}
+	var base, best float64
+	var oooAt4 int64
+	for _, depth := range []int{1, 2, 4, 8} {
+		cfg := dispatch.DefaultConfig()
+		cfg.MaxOutstanding = depth
+		c, ooo := run(cfg)
+		oooSeries.Add(float64(depth), c)
+		if depth == 1 {
+			base = c
+		}
+		if depth == 4 {
+			best = c
+			oooAt4 = ooo
+		}
+		cfg.InOrderData = true
+		cIno, _ := run(cfg)
+		inoSeries.Add(float64(depth), cIno)
+	}
+	fig.Add(oooSeries)
+	fig.Add(inoSeries)
+
+	return Result{
+		ID:          "dispatcher",
+		Description: "protocol-engine sweep: pipeline depth x (in-order vs tagged out-of-order data return)",
+		Expected:    "the paper credits the MPC620 bus's pipelining and tagged out-of-order completion with 'maximum parallelism between the competing transfers'; deeper pipelines and reordering both cut cycles per transaction",
+		Figure:      fig,
+		Notes: []string{
+			fmt.Sprintf("depth 1: %.1f cycles/txn; depth 4 out-of-order: %.1f (%.2fx)", base, best, base/best),
+			fmt.Sprintf("out-of-order returns at depth 4: %d of %d transactions", oooAt4, txns),
+		},
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import "encoding/json"
+
+// jsonResult is the machine-readable form of a Result.
+type jsonResult struct {
+	ID          string      `json:"id"`
+	Description string      `json:"description"`
+	Expected    string      `json:"expected"`
+	Notes       []string    `json:"notes,omitempty"`
+	Table       *jsonTable  `json:"table,omitempty"`
+	Figure      *jsonFigure `json:"figure,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonFigure struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"xLabel"`
+	YLabel string       `json:"yLabel"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonSeries struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// JSON renders the result as indented JSON for machine consumption
+// (pmbench -json).
+func (r Result) JSON() ([]byte, error) {
+	out := jsonResult{
+		ID:          r.ID,
+		Description: r.Description,
+		Expected:    r.Expected,
+		Notes:       r.Notes,
+	}
+	if r.Table != nil {
+		out.Table = &jsonTable{Title: r.Table.Title, Columns: r.Table.Columns, Rows: r.Table.Rows}
+	}
+	if r.Figure != nil {
+		f := &jsonFigure{Title: r.Figure.Title, XLabel: r.Figure.XLabel, YLabel: r.Figure.YLabel}
+		for _, s := range r.Figure.Series {
+			js := jsonSeries{Name: s.Name}
+			for _, p := range s.Points {
+				js.X = append(js.X, p.X)
+				js.Y = append(js.Y, p.Y)
+			}
+			f.Series = append(f.Series, js)
+		}
+		out.Figure = f
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

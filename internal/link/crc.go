@@ -1,0 +1,38 @@
+package link
+
+// CRC-16/CCITT-FALSE, the class of checksum the PowerMANNA link-interface
+// ASIC generates on send and verifies on receive (Section 3.3), ensuring
+// communication "is not only efficient but also reliable". Table-driven,
+// initial value 0xFFFF, polynomial 0x1021, no reflection.
+
+const crcPoly = 0x1021
+
+var crcTable = buildCRCTable()
+
+func buildCRCTable() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		c := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if c&0x8000 != 0 {
+				c = c<<1 ^ crcPoly
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// CRC16 computes the link checksum over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// CheckCRC16 verifies data against an expected checksum.
+func CheckCRC16(data []byte, want uint16) bool { return CRC16(data) == want }

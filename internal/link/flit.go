@@ -1,0 +1,142 @@
+package link
+
+import "fmt"
+
+// Flit-level reference model of one link direction (Section 3.2): a
+// 9-bit-wide channel moving one byte (plus a command flag) per 60 MHz
+// cycle toward a receiver FIFO, with the stop signal running back to the
+// sender. The stop wire is physical, so it takes time to cross — the
+// sender keeps emitting for StopLagCycles after the receiver asserts
+// stop. Soft flow control is only safe if the FIFO's headroom above the
+// high-water mark covers those in-flight bytes; the asynchronous
+// inter-cabinet transceivers need their 2-Kbyte FIFOs for exactly this
+// reason (the stop round trip over 30 m is long).
+//
+// The coarser models (Wire, the comm driver simulation) assume the link
+// sustains its full rate and never overflows; this engine is the
+// cycle-level justification, and the tests cross-validate the two.
+
+// FlitConfig describes one flit-level link direction.
+type FlitConfig struct {
+	// FIFOBytes is the receiver-side buffer.
+	FIFOBytes int
+	// StopLagCycles is the stop signal's flight time back to the sender
+	// (plus synchronizers). Bytes already on the wire keep arriving for
+	// this many cycles after stop asserts.
+	StopLagCycles int
+	// HighWater asserts stop when occupancy reaches it; LowWater
+	// deasserts when occupancy falls back to it (hysteresis).
+	HighWater, LowWater int
+}
+
+// Validate reports a configuration error, if any.
+func (c FlitConfig) Validate() error {
+	switch {
+	case c.FIFOBytes <= 0:
+		return fmt.Errorf("link: FIFOBytes = %d", c.FIFOBytes)
+	case c.StopLagCycles < 0:
+		return fmt.Errorf("link: StopLagCycles = %d", c.StopLagCycles)
+	case c.HighWater <= 0 || c.HighWater > c.FIFOBytes:
+		return fmt.Errorf("link: HighWater = %d of %d", c.HighWater, c.FIFOBytes)
+	case c.LowWater < 0 || c.LowWater > c.HighWater:
+		return fmt.Errorf("link: LowWater = %d above HighWater %d", c.LowWater, c.HighWater)
+	}
+	return nil
+}
+
+// SafeAgainstOverrun reports whether the configuration can never
+// overflow: the headroom above the high-water mark must absorb the bytes
+// in flight during the stop lag (one per cycle; the signal takes
+// StopLagCycles+1 cycles to take effect at the sender).
+func (c FlitConfig) SafeAgainstOverrun() bool {
+	return c.FIFOBytes-c.HighWater >= c.StopLagCycles+1
+}
+
+// DefaultFlitConfig returns the intra-cabinet link interface: the
+// 256-byte NI FIFO with a short synchronous stop path.
+func DefaultFlitConfig() FlitConfig {
+	return FlitConfig{FIFOBytes: 256, StopLagCycles: 4, HighWater: 240, LowWater: 192}
+}
+
+// TransceiverFlitConfig returns the inter-cabinet configuration: 2 KB
+// asynchronous FIFOs against the long stop round trip of up to 30 m of
+// cable plus synchronizers.
+func TransceiverFlitConfig() FlitConfig {
+	return FlitConfig{FIFOBytes: 2048, StopLagCycles: 40, HighWater: 1900, LowWater: 1024}
+}
+
+// FlitStats reports a stream simulation's outcome.
+type FlitStats struct {
+	Cycles      int64
+	Delivered   int
+	MaxFIFO     int
+	Overflowed  bool
+	StopToggles int64
+	StopCycles  int64 // cycles the sender spent held off
+}
+
+// SimulateStream pushes total bytes through the link, one byte per cycle
+// when the (lagged) stop signal permits, draining the receiver FIFO by
+// drain(cycle) bytes per cycle. It runs until all bytes are delivered or
+// maxCycles elapse.
+func SimulateStream(cfg FlitConfig, total int, drain func(cycle int64) int, maxCycles int64) FlitStats {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	var st FlitStats
+	fifo := 0
+	sent := 0
+	stopAsserted := false
+	// stopPipe carries the stop signal toward the sender with lag.
+	stopPipe := make([]bool, cfg.StopLagCycles+1)
+
+	for st.Cycles = 0; st.Cycles < maxCycles; st.Cycles++ {
+		c := st.Cycles
+		// Sender sees the stop value from StopLagCycles ago.
+		senderStopped := stopPipe[c%int64(len(stopPipe))]
+		if senderStopped {
+			st.StopCycles++
+		}
+
+		// One byte leaves the sender if allowed and remaining.
+		if !senderStopped && sent < total {
+			sent++
+			fifo++
+			if fifo > st.MaxFIFO {
+				st.MaxFIFO = fifo
+			}
+			if fifo > cfg.FIFOBytes {
+				st.Overflowed = true
+				return st
+			}
+		}
+
+		// Receiver drains.
+		take := drain(c)
+		if take > fifo {
+			take = fifo
+		}
+		if take > 0 {
+			fifo -= take
+			st.Delivered += take
+		}
+
+		// Receiver updates the stop signal with hysteresis.
+		prev := stopAsserted
+		if fifo >= cfg.HighWater {
+			stopAsserted = true
+		} else if fifo <= cfg.LowWater {
+			stopAsserted = false
+		}
+		if stopAsserted != prev {
+			st.StopToggles++
+		}
+		stopPipe[c%int64(len(stopPipe))] = stopAsserted
+
+		if st.Delivered >= total {
+			st.Cycles++
+			return st
+		}
+	}
+	return st
+}

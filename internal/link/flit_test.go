@@ -1,0 +1,150 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlitConfigValidate(t *testing.T) {
+	for _, c := range []FlitConfig{DefaultFlitConfig(), TransceiverFlitConfig()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("standard config rejected: %v", err)
+		}
+		if !c.SafeAgainstOverrun() {
+			t.Errorf("standard config %+v not overrun-safe", c)
+		}
+	}
+	bad := []FlitConfig{
+		{},
+		{FIFOBytes: 64, StopLagCycles: -1, HighWater: 32},
+		{FIFOBytes: 64, HighWater: 100},
+		{FIFOBytes: 64, HighWater: 32, LowWater: 40},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// Cross-validation with the fluid model: a consumer that always keeps up
+// lets the link sustain one byte per cycle — exactly the 60 MB/s the
+// Wire abstraction and the comm driver assume.
+func TestFlitFullRateMatchesFluidModel(t *testing.T) {
+	const total = 100_000
+	st := SimulateStream(DefaultFlitConfig(), total, func(int64) int { return 4 }, 10*total)
+	if st.Overflowed {
+		t.Fatal("overflow with a fast consumer")
+	}
+	rate := float64(total) / float64(st.Cycles)
+	if rate < 0.99 {
+		t.Errorf("sustained %g bytes/cycle, want ~1 (fluid model assumption)", rate)
+	}
+	if st.StopToggles != 0 {
+		t.Errorf("fast consumer caused %d stop toggles", st.StopToggles)
+	}
+}
+
+// A stalled consumer must never overflow the FIFO: the stop signal holds
+// the sender off despite its lag.
+func TestFlitStalledConsumerNeverOverflows(t *testing.T) {
+	for _, cfg := range []FlitConfig{DefaultFlitConfig(), TransceiverFlitConfig()} {
+		st := SimulateStream(cfg, 10_000, func(int64) int { return 0 }, 50_000)
+		if st.Overflowed {
+			t.Fatalf("%+v overflowed under a stalled consumer", cfg)
+		}
+		if st.MaxFIFO > cfg.FIFOBytes {
+			t.Fatalf("occupancy %d exceeded FIFO %d", st.MaxFIFO, cfg.FIFOBytes)
+		}
+		if st.StopCycles == 0 {
+			t.Error("sender never held off")
+		}
+	}
+}
+
+// A slow consumer throttles the link to exactly its drain rate.
+func TestFlitSlowConsumerThrottles(t *testing.T) {
+	const total = 50_000
+	// Half a byte per cycle: one byte every other cycle.
+	st := SimulateStream(DefaultFlitConfig(), total, func(c int64) int {
+		if c%2 == 0 {
+			return 1
+		}
+		return 0
+	}, 10*total)
+	if st.Overflowed {
+		t.Fatal("overflow")
+	}
+	rate := float64(total) / float64(st.Cycles)
+	if rate < 0.45 || rate > 0.55 {
+		t.Errorf("throughput %g bytes/cycle, want ~0.5 (consumer-bound)", rate)
+	}
+}
+
+// Hysteresis keeps the stop wire quiet: a low-water mark well below the
+// high-water mark toggles stop far less often than a one-byte band.
+func TestFlitHysteresisReducesToggles(t *testing.T) {
+	slow := func(c int64) int {
+		if c%2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	wide := DefaultFlitConfig()
+	narrow := wide
+	narrow.LowWater = narrow.HighWater - 1
+	stWide := SimulateStream(wide, 20_000, slow, 200_000)
+	stNarrow := SimulateStream(narrow, 20_000, slow, 200_000)
+	if stWide.StopToggles >= stNarrow.StopToggles {
+		t.Errorf("hysteresis did not help: wide %d toggles vs narrow %d",
+			stWide.StopToggles, stNarrow.StopToggles)
+	}
+}
+
+// Property: no safe configuration overflows under any (bounded) drain
+// pattern, and every delivered byte was sent.
+func TestFlitSafetyProperty(t *testing.T) {
+	f := func(seed uint32, lag uint8, drainMod uint8) bool {
+		cfg := FlitConfig{
+			FIFOBytes:     256,
+			StopLagCycles: int(lag % 32),
+			HighWater:     256 - int(lag%32) - 1,
+			LowWater:      128,
+		}
+		if cfg.HighWater < cfg.LowWater {
+			cfg.LowWater = cfg.HighWater / 2
+		}
+		if !cfg.SafeAgainstOverrun() {
+			return true // not claimed safe
+		}
+		mod := int64(drainMod%7) + 2
+		x := uint64(seed) | 1
+		st := SimulateStream(cfg, 5000, func(c int64) int {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			if c%mod == 0 {
+				return int(x % 4)
+			}
+			return 0
+		}, 1_000_000)
+		return !st.Overflowed && st.Delivered <= 5000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// An unsafe configuration (headroom below the stop lag) demonstrably can
+// overflow — the design rule is tight, which is why the inter-cabinet
+// transceivers carry 2 KB FIFOs.
+func TestFlitUnsafeConfigOverflows(t *testing.T) {
+	cfg := FlitConfig{FIFOBytes: 64, StopLagCycles: 32, HighWater: 60, LowWater: 30}
+	if cfg.SafeAgainstOverrun() {
+		t.Fatal("config unexpectedly safe")
+	}
+	st := SimulateStream(cfg, 10_000, func(int64) int { return 0 }, 100_000)
+	if !st.Overflowed {
+		t.Error("unsafe config survived a stalled consumer")
+	}
+}

@@ -1,0 +1,147 @@
+// Package link models the PowerMANNA link protocol (Section 3.2 of the
+// paper): a clock-synchronous, byte-parallel, bidirectional point-to-point
+// connection at 60 MHz. Each direction is a 9-bit channel (8 data bits
+// plus a control flag distinguishing commands like route and close from
+// payload) with a stop signal running the opposite way for soft flow
+// control against the receiver-side FIFO.
+//
+// Each port sustains 60 Mbyte/s per direction — 120 Mbyte/s full duplex —
+// and the full-duplex design excludes protocol deadlocks. For distances
+// beyond the clock-synchronous reach (between cabinets, up to 30 m),
+// asynchronous transceivers with 2-Kbyte FIFOs bridge the link.
+//
+// The package also implements the CRC the link-interface ASIC generates
+// and checks (Section 3.3: "the link-interface chip performs generation
+// and checking of a CRC check sum"), as a real CRC-16/CCITT over message
+// bytes — messages in this reproduction carry actual payloads.
+package link
+
+import (
+	"fmt"
+
+	"powermanna/internal/sim"
+)
+
+// Config describes one link direction.
+type Config struct {
+	// Name labels the wire in diagnostics.
+	Name string
+	// Clock is the link clock: 60 MHz, one byte per cycle (Section 3.2).
+	Clock sim.Clock
+	// WidthBytes is the datapath width per cycle (1 for the byte-parallel
+	// PowerMANNA link).
+	WidthBytes int
+	// PropagationDelay is the signal flight time plus synchronizer delay;
+	// small within a cabinet.
+	PropagationDelay sim.Time
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Clock.Period <= 0:
+		return fmt.Errorf("link %q: zero clock", c.Name)
+	case c.WidthBytes <= 0:
+		return fmt.Errorf("link %q: WidthBytes = %d", c.Name, c.WidthBytes)
+	case c.PropagationDelay < 0:
+		return fmt.Errorf("link %q: negative propagation delay", c.Name)
+	}
+	return nil
+}
+
+// Default returns the PowerMANNA link: 60 MHz, byte-parallel, one cycle
+// of synchronizer delay.
+func Default(name string) Config {
+	return Config{
+		Name:             name,
+		Clock:            sim.ClockMHz(60),
+		WidthBytes:       1,
+		PropagationDelay: 17 * sim.Nanosecond, // one 60 MHz cycle
+	}
+}
+
+// BytesPerSecond reports the direction's raw bandwidth.
+func (c Config) BytesPerSecond() float64 {
+	return float64(c.WidthBytes) / c.Clock.Period.Seconds()
+}
+
+// TransferTime reports the wire occupancy of n bytes.
+func (c Config) TransferTime(n int) sim.Time {
+	cycles := (n + c.WidthBytes - 1) / c.WidthBytes
+	return c.Clock.Cycles(int64(cycles))
+}
+
+// Wire is one direction of a link: an occupancy timeline at the link rate
+// plus propagation delay. Flow control (the stop signal) is exercised by
+// the FIFO models on either side — a transfer is only scheduled when the
+// receiving FIFO has space, which is exactly what the stop wire enforces.
+type Wire struct {
+	cfg  Config
+	res  sim.Resource
+	sent int64
+}
+
+// NewWire builds a wire. It panics on invalid configuration.
+func NewWire(cfg Config) *Wire {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Wire{cfg: cfg}
+}
+
+// Config returns the wire's configuration.
+func (w *Wire) Config() Config { return w.cfg }
+
+// Send schedules n bytes onto the wire no earlier than at, returning when
+// the first and last byte arrive at the far end.
+func (w *Wire) Send(at sim.Time, n int) (first, last sim.Time) {
+	dur := w.cfg.TransferTime(n)
+	start := w.res.Acquire(at, dur)
+	w.sent += int64(n)
+	first = start + w.cfg.PropagationDelay + w.cfg.Clock.Cycles(1)
+	return first, start + dur + w.cfg.PropagationDelay
+}
+
+// FreeAt reports when the wire next becomes free.
+func (w *Wire) FreeAt() sim.Time { return w.res.FreeAt() }
+
+// Hold claims the wire for a wormhole circuit from start until `until`
+// (the close command passing) and accounts n bytes of traffic. Used by
+// the network's two-pass circuit setup; Send remains the one-shot API.
+func (w *Wire) Hold(start, until sim.Time, n int) {
+	if until < start {
+		panic(fmt.Sprintf("link %s: hold window [%v, %v) inverted", w.cfg.Name, start, until))
+	}
+	w.res.Acquire(start, until-start)
+	w.sent += int64(n)
+}
+
+// BytesSent reports the cumulative traffic.
+func (w *Wire) BytesSent() int64 { return w.sent }
+
+// Busy reports accumulated wire occupancy.
+func (w *Wire) Busy() sim.Time { return w.res.Busy() }
+
+// Reset clears the timeline and counters.
+func (w *Wire) Reset() {
+	w.res.Reset()
+	w.sent = 0
+}
+
+// Transceiver models the asynchronous inter-cabinet transceiver pair
+// (Section 3.2): extra latency for the asynchronous crossing and a
+// 2-Kbyte input FIFO that preserves soft flow control over the longer
+// stop-signal round trip.
+type Transceiver struct {
+	// Latency is the added crossing delay per direction.
+	Latency sim.Time
+	// FIFOBytes is the async input FIFO (2 KB entries in the hardware).
+	FIFOBytes int
+}
+
+// DefaultTransceiver returns the PowerMANNA inter-cabinet transceiver:
+// 2 KB FIFOs; latency calibrated for tens-of-metres cabling plus
+// synchronization.
+func DefaultTransceiver() Transceiver {
+	return Transceiver{Latency: 300 * sim.Nanosecond, FIFOBytes: 2048}
+}

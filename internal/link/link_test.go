@@ -1,0 +1,145 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powermanna/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default("t").Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Clock: sim.ClockMHz(60)},
+		{Clock: sim.ClockMHz(60), WidthBytes: 1, PropagationDelay: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLinkRate(t *testing.T) {
+	// Section 3.2: 60 Mbyte/s per direction.
+	bw := Default("t").BytesPerSecond()
+	if bw < 59e6 || bw > 61e6 {
+		t.Errorf("link rate = %g B/s, want ~60 MB/s", bw)
+	}
+	// 64 bytes take 64 cycles ≈ 1.067 µs.
+	tt := Default("t").TransferTime(64)
+	if tt < 1060*sim.Nanosecond || tt > 1070*sim.Nanosecond {
+		t.Errorf("TransferTime(64) = %v, want ~1.067us", tt)
+	}
+}
+
+func TestWireCutThrough(t *testing.T) {
+	w := NewWire(Default("t"))
+	first, last := w.Send(0, 64)
+	if first >= last {
+		t.Fatal("first byte must precede last")
+	}
+	// First byte lands after ~1 cycle + propagation, long before the
+	// last: wormhole cut-through at the wire level.
+	if first > 50*sim.Nanosecond {
+		t.Errorf("first byte at %v, want tens of ns", first)
+	}
+	if w.BytesSent() != 64 {
+		t.Errorf("BytesSent = %d", w.BytesSent())
+	}
+}
+
+func TestWireSerializesTransfers(t *testing.T) {
+	w := NewWire(Default("t"))
+	_, last1 := w.Send(0, 64)
+	first2, _ := w.Send(0, 64)
+	if first2 <= last1-w.Config().TransferTime(64) {
+		t.Error("second transfer overlapped the first on one wire")
+	}
+	if w.Busy() != 2*w.Config().TransferTime(64) {
+		t.Errorf("Busy = %v", w.Busy())
+	}
+	w.Reset()
+	if w.Busy() != 0 || w.BytesSent() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// Property: wire times are monotone and rate-respecting for any request
+// pattern.
+func TestWireRateProperty(t *testing.T) {
+	cfg := Default("p")
+	f := func(sizes []uint8) bool {
+		w := NewWire(cfg)
+		var total int
+		var lastEnd sim.Time
+		for _, s := range sizes {
+			n := int(s)%256 + 1
+			_, last := w.Send(0, n)
+			if last < lastEnd {
+				return false
+			}
+			lastEnd = last
+			total += n
+		}
+		// Total elapsed ≥ total bytes at the link rate.
+		return lastEnd >= cfg.TransferTime(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16 check vector = %#x, want 0x29B1", got)
+	}
+	if CRC16(nil) != 0xFFFF {
+		t.Errorf("CRC16(empty) = %#x, want init 0xFFFF", CRC16(nil))
+	}
+}
+
+func TestCheckCRC16DetectsCorruption(t *testing.T) {
+	msg := []byte("powermanna link frame")
+	sum := CRC16(msg)
+	if !CheckCRC16(msg, sum) {
+		t.Fatal("valid frame rejected")
+	}
+	msg[3] ^= 0x40
+	if CheckCRC16(msg, sum) {
+		t.Error("corrupted frame accepted")
+	}
+}
+
+// Property: CRC distinguishes any single-bit flip.
+func TestCRCSingleBitProperty(t *testing.T) {
+	f := func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		sum := CRC16(data)
+		i := int(pos) % len(data)
+		bit := byte(1) << (pos % 8)
+		data[i] ^= bit
+		ok := !CheckCRC16(data, sum)
+		data[i] ^= bit
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultTransceiver(t *testing.T) {
+	tr := DefaultTransceiver()
+	if tr.FIFOBytes != 2048 {
+		t.Errorf("transceiver FIFO = %d, want 2048 (Section 3.2)", tr.FIFOBytes)
+	}
+	if tr.Latency <= 0 {
+		t.Error("transceiver must add latency")
+	}
+}

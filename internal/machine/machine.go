@@ -1,0 +1,251 @@
+// Package machine defines the three test systems of the paper's Table 1 —
+// the PowerMANNA node (2× PowerPC MPC620 @ 180 MHz), the SUN ULTRA-I
+// (2× UltraSPARC-I @ 168 MHz) and the Myrinet-cluster PC node
+// (2× Pentium II @ 180 or 266 MHz) — as node.Config values.
+//
+// Every constant is either taken from the paper (cited by section/table)
+// or an era-typical value marked "calibrated". The calibrated values set
+// absolute scale; the paper-derived ones (clock rates, cache geometries,
+// line lengths, issue widths, the missing load pipelining) set the shapes
+// the experiments reproduce.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"powermanna/internal/bus"
+	"powermanna/internal/cache"
+	"powermanna/internal/cpu"
+	"powermanna/internal/mem"
+	"powermanna/internal/node"
+	"powermanna/internal/sim"
+)
+
+// mpc620Core describes the MPC620: 4-issue superscalar, six execution
+// units, pipelined FPU with fused multiply-add, and no load pipelining
+// (MissQueue 1) — Section 2 and Section 5.1 of the paper.
+func mpc620Core() cpu.Config {
+	cfg := cpu.Config{
+		Name:       "MPC620",
+		Clock:      sim.ClockMHz(180), // Table 1
+		IssueWidth: 4,                 // Section 2: "issuing four instructions simultaneously"
+		MissQueue:  1,                 // Section 5.1: "does not support load pipelining"
+		HasFMA:     true,              // PowerPC fused multiply-add
+	}
+	cfg.Units[cpu.UnitIntALU] = 2 // two simple integer units
+	cfg.Units[cpu.UnitIntMul] = 1 // one complex integer unit
+	cfg.Units[cpu.UnitFPU] = 1
+	cfg.Units[cpu.UnitLS] = 1
+	cfg.Units[cpu.UnitBranch] = 1
+	cfg.Timing[cpu.IntALU] = cpu.OpTiming{Unit: cpu.UnitIntALU, Latency: 1, Pipelined: true}
+	cfg.Timing[cpu.IntMul] = cpu.OpTiming{Unit: cpu.UnitIntMul, Latency: 5, Pipelined: true}   // calibrated
+	cfg.Timing[cpu.IntDiv] = cpu.OpTiming{Unit: cpu.UnitIntMul, Latency: 22, Pipelined: false} // calibrated
+	cfg.Timing[cpu.FPAdd] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.FPMul] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.FPMAdd] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.FPDiv] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 18, Pipelined: false} // calibrated
+	cfg.Timing[cpu.Load] = cpu.OpTiming{Unit: cpu.UnitLS, Latency: 2, Pipelined: true}
+	cfg.Timing[cpu.Store] = cpu.OpTiming{Unit: cpu.UnitLS, Latency: 1, Pipelined: true}
+	cfg.Timing[cpu.Branch] = cpu.OpTiming{Unit: cpu.UnitBranch, Latency: 1, Pipelined: true}
+	return cfg
+}
+
+// ultraSparcCore describes the UltraSPARC-I: 4-issue but in-order, no
+// fused multiply-add, a modest non-blocking load queue, and a slow
+// integer multiply (the V9 integer multiplier shares the FGU; calibrated
+// to the paper's observation that the SUN trails on INT workloads).
+func ultraSparcCore() cpu.Config {
+	cfg := cpu.Config{
+		Name:        "UltraSPARC-I",
+		Clock:       sim.ClockMHz(168), // Table 1
+		IssueWidth:  4,
+		MissQueue:   2, // calibrated: load buffer allows limited overlap
+		InOrderExec: true,
+		HasFMA:      false,
+	}
+	cfg.Units[cpu.UnitIntALU] = 2
+	cfg.Units[cpu.UnitIntMul] = 1
+	cfg.Units[cpu.UnitFPU] = 2 // separate FP add and FP multiply pipes
+	cfg.Units[cpu.UnitLS] = 1
+	cfg.Units[cpu.UnitBranch] = 1
+	cfg.Timing[cpu.IntALU] = cpu.OpTiming{Unit: cpu.UnitIntALU, Latency: 1, Pipelined: true}
+	cfg.Timing[cpu.IntMul] = cpu.OpTiming{Unit: cpu.UnitIntMul, Latency: 12, Pipelined: false} // calibrated: slow MULX
+	cfg.Timing[cpu.IntDiv] = cpu.OpTiming{Unit: cpu.UnitIntMul, Latency: 36, Pipelined: false} // calibrated: slow UDIVX
+	cfg.Timing[cpu.FPAdd] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.FPMul] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.FPMAdd] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}  // unused: HasFMA=false
+	cfg.Timing[cpu.FPDiv] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 22, Pipelined: false} // calibrated
+	cfg.Timing[cpu.Load] = cpu.OpTiming{Unit: cpu.UnitLS, Latency: 2, Pipelined: true}
+	cfg.Timing[cpu.Store] = cpu.OpTiming{Unit: cpu.UnitLS, Latency: 1, Pipelined: true}
+	cfg.Timing[cpu.Branch] = cpu.OpTiming{Unit: cpu.UnitBranch, Latency: 1, Pipelined: true}
+	return cfg
+}
+
+// pentiumIICore describes the Pentium II: 3-wide out-of-order core with a
+// deep non-blocking load queue (4 fill buffers) and no fused multiply-add.
+// The multiply pipe accepts an operation every other cycle; modelled as a
+// pipelined 5-cycle unit, which is close enough at this altitude.
+func pentiumIICore(mhz float64) cpu.Config {
+	cfg := cpu.Config{
+		Name:       fmt.Sprintf("PentiumII-%.0f", mhz),
+		Clock:      sim.ClockMHz(mhz), // Table 1: 180 (downclocked) or 266
+		IssueWidth: 3,
+		MissQueue:  4, // calibrated: 4 fill buffers (non-blocking loads)
+		HasFMA:     false,
+	}
+	cfg.Units[cpu.UnitIntALU] = 2
+	cfg.Units[cpu.UnitIntMul] = 1
+	cfg.Units[cpu.UnitFPU] = 1
+	cfg.Units[cpu.UnitLS] = 1
+	cfg.Units[cpu.UnitBranch] = 1
+	cfg.Timing[cpu.IntALU] = cpu.OpTiming{Unit: cpu.UnitIntALU, Latency: 1, Pipelined: true}
+	cfg.Timing[cpu.IntMul] = cpu.OpTiming{Unit: cpu.UnitIntMul, Latency: 4, Pipelined: true}
+	cfg.Timing[cpu.IntDiv] = cpu.OpTiming{Unit: cpu.UnitIntMul, Latency: 30, Pipelined: false} // calibrated
+	cfg.Timing[cpu.FPAdd] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.FPMul] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 5, Pipelined: true}
+	cfg.Timing[cpu.FPMAdd] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 5, Pipelined: true}  // unused: HasFMA=false
+	cfg.Timing[cpu.FPDiv] = cpu.OpTiming{Unit: cpu.UnitFPU, Latency: 33, Pipelined: false} // calibrated
+	cfg.Timing[cpu.Load] = cpu.OpTiming{Unit: cpu.UnitLS, Latency: 3, Pipelined: true}
+	cfg.Timing[cpu.Store] = cpu.OpTiming{Unit: cpu.UnitLS, Latency: 1, Pipelined: true}
+	cfg.Timing[cpu.Branch] = cpu.OpTiming{Unit: cpu.UnitBranch, Latency: 1, Pipelined: true}
+	return cfg
+}
+
+// PowerMANNA returns the PowerMANNA node of Table 1: two MPC620s, 32 KB
+// L1s with 64-byte lines, 2 MB L2 per processor at processor clock, the
+// ADSP switched fabric with the central dispatcher, and the interleaved
+// 640 MB/s node memory.
+func PowerMANNA() node.Config { return PowerMANNAWithCPUs(2) }
+
+// PowerMANNAWithCPUs returns a PowerMANNA node with n processors, for the
+// Section 2 scalability ablation ("the actual node design would support up
+// to four processors").
+func PowerMANNAWithCPUs(n int) node.Config {
+	return node.Config{
+		Name:          "PowerMANNA",
+		CPUs:          n,
+		Core:          mpc620Core(),
+		L1D:           cache.Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, HitCycles: 2},     // Table 1; assoc per MPC620 spec
+		L2:            cache.Config{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 1, HitCycles: 8},       // Table 1: 2 MB at 180 MHz; latency calibrated
+		TLB:           cache.Config{Name: "DTLB", SizeBytes: 64 * 4096, LineBytes: 4096, Assoc: 2, HitCycles: 0}, // 64-entry MPC620 DTLB
+		TLBWalkCycles: 25,                                                                                        // calibrated: hardware tablewalk
+		Fabric:        node.SwitchedFabric,
+		Bus: bus.Config{
+			Name:          "ADSP",
+			Clock:         sim.ClockMHz(60), // Table 1: bus clock 60 MHz
+			AddressCycles: 2,                // calibrated: snoop phase 2 bus cycles
+			DataBeatBytes: 16,               // 128-bit MPC620 data bus option
+			LineBytes:     64,
+		},
+		Mem: mem.Config{
+			Banks:           4,                    // calibrated: interleave degree
+			InterleaveBytes: 64,                   // one line per bank stripe
+			AccessLatency:   200 * sim.Nanosecond, // calibrated DRAM row access over the 60 MHz board
+			BankBusy:        180 * sim.Nanosecond, // calibrated bank cycle time
+			LineTransfer:    100 * sim.Nanosecond, // 64 B / 100 ns = 640 MB/s (Section 2)
+			SizeBytes:       512 << 20,            // Table 1: 512 MB installed
+		},
+	}
+}
+
+// SunUltra returns the SUN ULTRA-I node of Table 1: two UltraSPARC-I
+// @168 MHz, 16 KB L1s and 512 KB L2s with 32-byte lines, on an 84 MHz
+// 128-bit UPA interconnect (modelled as a split-transaction shared bus).
+func SunUltra() node.Config {
+	return node.Config{
+		Name:          "SUN-Ultra1",
+		CPUs:          2,
+		Core:          ultraSparcCore(),
+		L1D:           cache.Config{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1, HitCycles: 2},      // Table 1; US-I L1 direct-mapped
+		L2:            cache.Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 32, Assoc: 1, HitCycles: 8},      // Table 1; latency calibrated
+		TLB:           cache.Config{Name: "DTLB", SizeBytes: 64 * 4096, LineBytes: 4096, Assoc: 64, HitCycles: 0}, // 64-entry fully-associative US-I TLB
+		TLBWalkCycles: 45,                                                                                         // calibrated: software trap handler refill
+		Fabric:        node.SharedBusFabric,
+		Bus: bus.Config{
+			Name:          "UPA",
+			Clock:         sim.ClockMHz(84), // Table 1: bus clock 84 MHz
+			AddressCycles: 2,                // calibrated
+			DataBeatBytes: 16,               // 128-bit UPA datapath
+			LineBytes:     32,
+		},
+		Mem: mem.Config{
+			Banks:           2, // calibrated
+			InterleaveBytes: 32,
+			AccessLatency:   170 * sim.Nanosecond, // calibrated
+			BankBusy:        220 * sim.Nanosecond, // calibrated
+			LineTransfer:    110 * sim.Nanosecond, // 32 B / 110 ns ≈ 290 MB/s sustained (calibrated, era-typical)
+			SizeBytes:       576 << 20,            // Table 1
+		},
+	}
+}
+
+// PentiumII returns the PC-cluster node of Table 1 at the given core
+// clock: 266 MHz (native, 66 MHz bus) or 180 MHz (downclocked to match
+// PowerMANNA, 60 MHz bus — Section 5: "we configured the PC board to run
+// at the same clock speed as the PowerMANNA node").
+func PentiumII(mhz int) node.Config {
+	if mhz != 180 && mhz != 266 {
+		panic(fmt.Sprintf("machine: PentiumII clock %d MHz not in Table 1 (180 or 266)", mhz))
+	}
+	busMHz := 60.0
+	if mhz == 266 {
+		busMHz = 66.0
+	}
+	return node.Config{
+		Name:          fmt.Sprintf("PC-PII-%d", mhz),
+		CPUs:          2,
+		Core:          pentiumIICore(float64(mhz)),
+		L1D:           cache.Config{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 32, Assoc: 4, HitCycles: 3},     // Table 1
+		L2:            cache.Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 32, Assoc: 4, HitCycles: 12},    // Table 1; half-speed L2, latency calibrated
+		TLB:           cache.Config{Name: "DTLB", SizeBytes: 64 * 4096, LineBytes: 4096, Assoc: 4, HitCycles: 0}, // 64-entry PII DTLB
+		TLBWalkCycles: 20,                                                                                        // calibrated: hardware tablewalk
+		Fabric:        node.SharedBusFabric,
+		Bus: bus.Config{
+			Name:          "P6-bus",
+			Clock:         sim.ClockMHz(busMHz), // Table 1: 60/66 MHz
+			AddressCycles: 3,                    // calibrated: P6 snoop phase
+			DataBeatBytes: 8,                    // 64-bit GTL+ data bus
+			LineBytes:     32,
+		},
+		Mem: mem.Config{
+			Banks:           2, // calibrated
+			InterleaveBytes: 32,
+			AccessLatency:   150 * sim.Nanosecond, // calibrated
+			BankBusy:        200 * sim.Nanosecond, // calibrated
+			LineTransfer:    130 * sim.Nanosecond, // 32 B / 130 ns ≈ 246 MB/s sustained (calibrated, era-typical EDO/SDRAM)
+			SizeBytes:       128 << 20,            // Table 1
+		},
+	}
+}
+
+// All returns the test-system set of Table 1, in the paper's column order,
+// with the PC at both clock rates as used in Figure 6.
+func All() []node.Config {
+	return []node.Config{SunUltra(), PowerMANNA(), PentiumII(180), PentiumII(266)}
+}
+
+// Table1 renders the configuration comparison corresponding to the
+// paper's Table 1.
+func Table1() string {
+	cfgs := []node.Config{SunUltra(), PowerMANNA(), PentiumII(266)}
+	var b strings.Builder
+	row := func(label string, f func(node.Config) string) {
+		fmt.Fprintf(&b, "%-18s", label)
+		for _, c := range cfgs {
+			fmt.Fprintf(&b, "%-18s", f(c))
+		}
+		b.WriteByte('\n')
+	}
+	row("System Type", func(c node.Config) string { return c.Name })
+	row("Processor Type", func(c node.Config) string { return c.Core.Name })
+	row("Processor Clock", func(c node.Config) string { return fmt.Sprintf("%.0f MHz", c.Core.Clock.MHz()) })
+	row("Bus Clock", func(c node.Config) string { return fmt.Sprintf("%.0f MHz", c.Bus.Clock.MHz()) })
+	row("Processors", func(c node.Config) string { return fmt.Sprintf("%d", c.CPUs) })
+	row("Primary Cache", func(c node.Config) string { return fmt.Sprintf("%d Kbyte", c.L1D.SizeBytes>>10) })
+	row("Secondary Cache", func(c node.Config) string { return fmt.Sprintf("%d Kbyte", c.L2.SizeBytes>>10) })
+	row("Cache line", func(c node.Config) string { return fmt.Sprintf("%d byte", c.L2.LineBytes) })
+	row("Node Memory", func(c node.Config) string { return fmt.Sprintf("%d Mbyte", c.Mem.SizeBytes>>20) })
+	row("Fabric", func(c node.Config) string { return c.Fabric.String() })
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package mpl is the user-level message-passing layer of the
+// reproduction — the role MPI plays on the real machine (Section 4 of
+// the paper: "an optimized implementation of MPI offers user-level
+// communication, which reduces the communication overhead
+// significantly"). It runs entirely over the simulated interconnect of
+// internal/netsim: one rank per node, PIO-driven sends with the
+// calibrated PowerMANNA software overheads, wormhole transit through the
+// crossbar hierarchy, and polling receives.
+//
+// Like every model in this repository, the layer is functional as well
+// as timed: messages carry real payload bytes, collectives combine real
+// vectors, and the tests verify both the arithmetic and the timing
+// invariants (causality, determinism, logarithmic collective depth).
+//
+// Per Section 4's first implementation, user traffic runs on one network
+// plane of the duplicated system (plane A), leaving plane B to the
+// operating system.
+package mpl
+
+import (
+	"fmt"
+
+	"powermanna/internal/comm"
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// World is one program run: a set of ranks (one per node) over an
+// assembled network, each with its own local clock.
+type World struct {
+	net    *netsim.Network
+	params comm.PMParams
+	clocks []sim.Time
+	// pending holds in-flight messages per destination rank, in arrival
+	// order of posting (FIFO matching within a (src, tag) pair).
+	pending [][]message
+	sends   int64
+	bytes   int64
+}
+
+type message struct {
+	src, tag  int
+	payload   []byte
+	arrival   sim.Time // last byte at the destination NI
+	firstByte sim.Time
+}
+
+// NewWorld builds a world over a topology, one rank per node.
+func NewWorld(t *topo.Topology) *World {
+	return &World{
+		net:     netsim.New(t),
+		params:  comm.DefaultPMParams(),
+		clocks:  make([]sim.Time, t.Nodes()),
+		pending: make([][]message, t.Nodes()),
+	}
+}
+
+// Ranks reports the number of ranks.
+func (w *World) Ranks() int { return len(w.clocks) }
+
+// Now reports a rank's local time.
+func (w *World) Now(rank int) sim.Time { return w.clocks[rank] }
+
+// MaxTime reports the latest local time across ranks (the makespan).
+func (w *World) MaxTime() sim.Time {
+	var max sim.Time
+	for _, t := range w.clocks {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Stats reports message traffic.
+func (w *World) Stats() (messages, payloadBytes int64) { return w.sends, w.bytes }
+
+// Compute advances a rank's clock by local computation time.
+func (w *World) Compute(rank int, d sim.Time) { w.clocks[rank] += d }
+
+func (w *World) cycles(n int64) sim.Time { return w.params.CPUClock.Cycles(n) }
+
+// Send posts payload from src to dst with a tag. The sender pays the
+// user-level send path (setup plus PIO at line granularity, overlapped
+// with the link once the FIFO pipeline is full); delivery is scheduled
+// through the wormhole network. Send returns when the sender's CPU is
+// free again (eager protocol — the paper's NI has no rendezvous).
+func (w *World) Send(src, dst, tag int, payload []byte) error {
+	if src == dst {
+		return fmt.Errorf("mpl: self-send from rank %d", src)
+	}
+	path, err := w.net.Topology().Route(src, dst, topo.NetworkA)
+	if err != nil {
+		return err
+	}
+	start := w.clocks[src] + w.cycles(w.params.SendSetupCycles)
+	// First line enters the FIFO before the head can leave.
+	start += w.params.PIOWriteLine
+	tr, err := w.net.Send(start, path, len(payload))
+	if err != nil {
+		return err
+	}
+	// Sender occupancy: for messages beyond the FIFO, the CPU feeds lines
+	// as the link drains them; the link is slower than PIO, so the CPU is
+	// free once the tail fits in the FIFO.
+	tail := len(payload) - w.params.FIFOBytes
+	senderDone := start
+	if tail > 0 {
+		// CPU must stay until all but one FIFO's worth has left the node
+		// (the last FIFO fill drains without it; 16667 ps/byte is the
+		// 60 MB/s link rate).
+		senderDone = tr.LastByte - sim.Time(w.params.FIFOBytes)*16667
+		if senderDone < start {
+			senderDone = start
+		}
+	} else {
+		lines := (len(payload) + 63) / 64
+		senderDone = start + sim.Time(lines)*w.params.PIOWriteLine
+	}
+	w.clocks[src] = senderDone
+
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	w.pending[dst] = append(w.pending[dst], message{
+		src: src, tag: tag, payload: cp,
+		arrival: tr.LastByte, firstByte: tr.FirstByte,
+	})
+	w.sends++
+	w.bytes += int64(len(payload))
+	return nil
+}
+
+// Recv blocks rank dst until a message from src with the tag has fully
+// arrived, drains it from the receive FIFO and returns the payload.
+// Matching is FIFO within (src, tag).
+func (w *World) Recv(dst, src, tag int) ([]byte, error) {
+	q := w.pending[dst]
+	for i, m := range q {
+		if m.src != src || m.tag != tag {
+			continue
+		}
+		w.pending[dst] = append(q[:i:i], q[i+1:]...)
+		// Poll until arrival, then drain and return to user.
+		t := w.clocks[dst] + w.cycles(w.params.PollCycles)
+		if m.arrival > t {
+			t = m.arrival + w.cycles(w.params.PollCycles)/2
+		}
+		lines := (len(m.payload) + 63) / 64
+		if lines < 1 {
+			lines = 1
+		}
+		t += sim.Time(lines) * w.params.PIOReadLine
+		t += w.cycles(w.params.RecvReturnCycles)
+		w.clocks[dst] = t
+		return m.payload, nil
+	}
+	return nil, fmt.Errorf("mpl: rank %d has no message from %d tag %d", dst, src, tag)
+}
+
+// Reset clears clocks, queues and the network.
+func (w *World) Reset() {
+	w.net.Reset()
+	for i := range w.clocks {
+		w.clocks[i] = 0
+	}
+	for i := range w.pending {
+		w.pending[i] = nil
+	}
+	w.sends, w.bytes = 0, 0
+}

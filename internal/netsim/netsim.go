@@ -1,0 +1,190 @@
+// Package netsim assembles a runnable network from a topology: one
+// crossbar instance per topology crossbar, one wire pair per physical
+// link, asynchronous transceivers on inter-cabinet links. It computes
+// message transit times under wormhole circuit switching:
+//
+//   - the header advances hop by hop, each crossbar consuming one route
+//     byte and spending the 0.2 µs through-routing time (plus any wait
+//     for a busy output channel),
+//   - once the circuit stands, the body streams at the link rate with
+//     cut-through (the first byte arrives long before the last),
+//   - every traversed output channel and wire stays claimed until the
+//     message's close command passes, so concurrent messages contend
+//     exactly where the hardware would make them contend.
+//
+// Endpoint FIFO effects (the four-line send/receive FIFOs of the link
+// interface) belong to the driver model in internal/comm; Transit assumes
+// the endpoints keep up, which holds for latency measurements and routed
+// examples.
+package netsim
+
+import (
+	"fmt"
+
+	"powermanna/internal/link"
+	"powermanna/internal/ni"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+	"powermanna/internal/xbar"
+)
+
+// Network is an instantiated interconnect.
+type Network struct {
+	topo    *topo.Topology
+	xbars   []*xbar.Crossbar
+	linkCfg link.Config
+	trans   link.Transceiver
+	// wires are directed, keyed by the upstream end: for hop i the wire
+	// is the one leaving the previous device toward this crossbar.
+	wires map[wireKey]*link.Wire
+	nis   []*ni.NI
+	sent  int64
+}
+
+type wireKey struct {
+	dev, port int
+	// dir disambiguates the two directions of a bidirectional link:
+	// 0 = out of (dev,port), 1 = into it.
+	dir int
+}
+
+// New assembles a network over a topology with default PowerMANNA link
+// and transceiver parameters.
+func New(t *topo.Topology) *Network {
+	n := &Network{
+		topo:    t,
+		linkCfg: link.Default("wire"),
+		trans:   link.DefaultTransceiver(),
+		wires:   make(map[wireKey]*link.Wire),
+	}
+	for i := 0; i < t.Crossbars(); i++ {
+		n.xbars = append(n.xbars, xbar.New(t.CrossbarName(i)))
+	}
+	for i := 0; i < t.Nodes(); i++ {
+		n.nis = append(n.nis, ni.New())
+	}
+	return n
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topo.Topology { return n.topo }
+
+// Crossbar returns crossbar ordinal i (for stats).
+func (n *Network) Crossbar(i int) *xbar.Crossbar { return n.xbars[i] }
+
+// NI returns node i's network interface.
+func (n *Network) NI(i int) *ni.NI { return n.nis[i] }
+
+// MessagesSent reports how many transits have been computed.
+func (n *Network) MessagesSent() int64 { return n.sent }
+
+func (n *Network) wire(dev, port, dir int) *link.Wire {
+	k := wireKey{dev, port, dir}
+	w, ok := n.wires[k]
+	if !ok {
+		w = link.NewWire(n.linkCfg)
+		n.wires[k] = w
+	}
+	return w
+}
+
+// Transit describes the timing of one message.
+type Transit struct {
+	// SetupDone is when the full wormhole circuit stands.
+	SetupDone sim.Time
+	// FirstByte and LastByte are body arrival times at the destination NI.
+	FirstByte, LastByte sim.Time
+	// WireBytes is the on-wire message length including header, CRC and
+	// close command.
+	WireBytes int
+}
+
+// Send computes the transit of a payload of the given size along path,
+// entering the network no earlier than at, under wormhole circuit
+// semantics: the header advances as far as it can, waits at busy output
+// channels, and the whole path — every wire and crossbar output the worm
+// occupies — stays claimed until the close command passes. Blocking
+// therefore cascades: a worm stalled downstream keeps its upstream links
+// busy, which is exactly the behaviour that separates mesh topologies
+// from the crossbar hierarchy in the blocking experiment.
+//
+// The claim is computed in two passes. First the header walk peeks at
+// each resource's free time to find the true setup schedule; then every
+// resource is claimed from its setup until the message has fully passed.
+// Sends are processed one at a time, so the peeked times stay valid.
+func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, error) {
+	if payloadBytes < 0 {
+		return Transit{}, fmt.Errorf("netsim: negative payload")
+	}
+	n.sent++
+	wireBytes := ni.WireBytes(len(path.RouteBytes), payloadBytes)
+	if len(path.Hops) == 0 {
+		// Self-delivery: no network involved.
+		return Transit{SetupDone: at, FirstByte: at, LastByte: at, WireBytes: 0}, nil
+	}
+
+	byteTime := n.linkCfg.TransferTime(1)
+	bodyTime := n.linkCfg.TransferTime(wireBytes - len(path.RouteBytes))
+
+	type wireClaim struct {
+		w     *link.Wire
+		start sim.Time
+		bytes int
+	}
+	type hopClaim struct {
+		x                *xbar.Crossbar
+		out              int
+		requested, start sim.Time
+	}
+	wireClaims := make([]wireClaim, 0, len(path.Hops)+1)
+	hopClaims := make([]hopClaim, 0, len(path.Hops))
+
+	// Pass 1: header walk, peeking at free times.
+	head := at
+	fromDev, fromPort := path.Src, path.Network
+	remaining := wireBytes
+	for _, hop := range path.Hops {
+		w := n.wire(fromDev, fromPort, 0)
+		wStart := sim.Max(head, w.FreeAt())
+		wireClaims = append(wireClaims, wireClaim{w: w, start: wStart, bytes: remaining})
+		lat := n.linkCfg.PropagationDelay + byteTime
+		if hop.AsyncIn {
+			lat += n.trans.Latency
+		}
+		headArrive := wStart + lat
+		x := n.xbars[hop.Xbar]
+		setupStart := sim.Max(headArrive, x.OutputFreeAt(hop.Out))
+		hopClaims = append(hopClaims, hopClaim{x: x, out: hop.Out, requested: headArrive, start: setupStart})
+		head = setupStart + xbar.RouteSetup
+		fromDev, fromPort = n.topo.Nodes()+hop.Xbar, hop.Out
+		remaining-- // the crossbar consumed one route byte
+	}
+	lastWire := n.wire(fromDev, fromPort, 0)
+	lwStart := sim.Max(head, lastWire.FreeAt())
+	wireClaims = append(wireClaims, wireClaim{w: lastWire, start: lwStart, bytes: remaining})
+	first := lwStart + n.linkCfg.PropagationDelay + byteTime
+	last := first + bodyTime
+
+	// Pass 2: claim the full circuit until the close command passes.
+	for _, c := range wireClaims {
+		c.w.Hold(c.start, last, c.bytes)
+	}
+	for _, c := range hopClaims {
+		c.x.HoldOutput(c.requested, c.start, last, c.out)
+	}
+	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes}, nil
+}
+
+// Reset clears all crossbar and wire timelines and NI state.
+func (n *Network) Reset() {
+	for _, x := range n.xbars {
+		x.Reset()
+	}
+	for _, w := range n.wires {
+		w.Reset()
+	}
+	for _, d := range n.nis {
+		d.Reset()
+	}
+	n.sent = 0
+}

@@ -1,0 +1,174 @@
+package ni
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOGeometry(t *testing.T) {
+	// Section 3.3: 32 words of 64 bits = 256 bytes = 4 cache lines.
+	if FIFOBytes != 256 {
+		t.Errorf("FIFOBytes = %d, want 256", FIFOBytes)
+	}
+	l := NewLinkIF()
+	if l.Send.Cap() != 256 || l.Recv.Cap() != 256 {
+		t.Error("link interface FIFOs must be 256 bytes each")
+	}
+}
+
+func TestQueueAccounting(t *testing.T) {
+	q := NewQueue(256)
+	if err := q.Push(100); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 100 || q.Space() != 156 {
+		t.Errorf("len/space = %d/%d", q.Len(), q.Space())
+	}
+	if err := q.Push(157); err == nil {
+		t.Error("overflow accepted")
+	}
+	if err := q.Pop(40); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 60 {
+		t.Errorf("len = %d after pop", q.Len())
+	}
+	if err := q.Pop(61); err == nil {
+		t.Error("underflow accepted")
+	}
+	if q.Pushed() != 100 || q.Popped() != 40 {
+		t.Errorf("counters = %d/%d", q.Pushed(), q.Popped())
+	}
+	q.Reset()
+	if q.Len() != 0 || q.Pushed() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestNewQueuePanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewQueue(0) did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+// Property: queue occupancy equals pushed minus popped and never exceeds
+// capacity.
+func TestQueueInvariantProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewQueue(256)
+		for _, op := range ops {
+			n := int(op)
+			if n >= 0 {
+				_ = q.Push(n % 300)
+			} else {
+				_ = q.Pop((-n) % 300)
+			}
+			if q.Len() < 0 || q.Len() > q.Cap() {
+				return false
+			}
+			if int64(q.Len()) != q.Pushed()-q.Popped() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	route := []byte{5, 3, 9}
+	payload := []byte("hello powermanna")
+	frame := EncodeFrame(route, payload)
+	if !bytes.HasPrefix(frame, route) {
+		t.Fatal("route prefix missing")
+	}
+	// Crossbars consume the route bytes.
+	body := frame[len(route):]
+	got, err := DecodeBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestAcceptFrameCountsCRCErrors(t *testing.T) {
+	l := NewLinkIF()
+	frame := EncodeFrame(nil, []byte("data"))
+	if _, err := l.AcceptFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	if l.FramesReceived() != 1 {
+		t.Error("frame not counted")
+	}
+	frame[2] ^= 0xFF // corrupt payload
+	if _, err := l.AcceptFrame(frame); err == nil {
+		t.Error("corrupt frame accepted")
+	}
+	if l.CRCErrors() != 1 {
+		t.Errorf("CRCErrors = %d, want 1", l.CRCErrors())
+	}
+}
+
+func TestDecodeBodyErrors(t *testing.T) {
+	if _, err := DecodeBody([]byte{1}); err == nil {
+		t.Error("short body accepted")
+	}
+	frame := EncodeFrame(nil, []byte("abc"))
+	if _, err := DecodeBody(frame[:len(frame)-1]); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+// Property: frame round trip for any payload.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(route []byte, payload []byte) bool {
+		if len(route) > 8 {
+			route = route[:8]
+		}
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		frame := EncodeFrame(route, payload)
+		got, err := DecodeBody(frame[len(route):])
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusWordRoundTrip(t *testing.T) {
+	s, r := DecodeStatus(StatusWord(192, 64))
+	if s != 192 || r != 64 {
+		t.Errorf("status round trip = %d/%d", s, r)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	// 1 route byte + 2 length + 8 payload + 2 CRC + 1 close = 14.
+	if got := WireBytes(1, 8); got != 14 {
+		t.Errorf("WireBytes(1,8) = %d, want 14", got)
+	}
+}
+
+func TestNIReset(t *testing.T) {
+	n := New()
+	if len(n.Links) != 2 {
+		t.Fatal("node NI must have two link interfaces (duplicated network)")
+	}
+	if err := n.Links[0].Send.Push(10); err != nil {
+		t.Fatal(err)
+	}
+	n.Reset()
+	if n.Links[0].Send.Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+// Resource is a single-server busy timeline: the building block for every
+// contended hardware unit that the node-level models track analytically
+// (bus address phases, data paths, memory banks, execution units).
+//
+// A Resource answers the question "if a request arrives at time t and needs
+// the unit for d, when does it actually start?" while accumulating total
+// busy time for utilization accounting. Requests must be presented in
+// non-decreasing arrival order per timeline, which the node models
+// guarantee by merging CPU streams by local time.
+type Resource struct {
+	free Time // earliest time the next request can start
+	busy Time // accumulated busy time
+	uses int64
+}
+
+// Acquire reserves the resource for dur starting no earlier than at,
+// returning the actual start time. The wait (start − at) is the queuing
+// delay caused by contention.
+func (r *Resource) Acquire(at, dur Time) (start Time) {
+	start = Max(at, r.free)
+	r.free = start + dur
+	r.busy += dur
+	r.uses++
+	return start
+}
+
+// AcquireWait is Acquire returning the queuing delay instead of the start.
+func (r *Resource) AcquireWait(at, dur Time) (wait Time) {
+	return r.Acquire(at, dur) - at
+}
+
+// FreeAt reports when the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.free }
+
+// Busy reports total accumulated busy time.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Uses reports how many acquisitions have been made.
+func (r *Resource) Uses() int64 { return r.uses }
+
+// Utilization reports busy time as a fraction of the elapsed window.
+// A window of zero yields zero.
+func (r *Resource) Utilization(window Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(window)
+}
+
+// Reset clears the timeline.
+func (r *Resource) Reset() { *r = Resource{} }
+
+// Pipelined is a resource with distinct occupancy (initiation interval) and
+// latency: a new request may start every Interval, but its result is only
+// available Latency after start. It models pipelined memory banks and
+// pipelined execution units.
+type Pipelined struct {
+	Interval Time
+	Latency  Time
+	res      Resource
+}
+
+// Acquire reserves an initiation slot at or after at and returns the time
+// the result is available.
+func (p *Pipelined) Acquire(at Time) (done Time) {
+	start := p.res.Acquire(at, p.Interval)
+	return start + p.Latency
+}
+
+// Busy reports accumulated initiation-slot time.
+func (p *Pipelined) Busy() Time { return p.res.Busy() }
+
+// Uses reports how many acquisitions have been made.
+func (p *Pipelined) Uses() int64 { return p.res.Uses() }
+
+// Reset clears the timeline, keeping the configuration.
+func (p *Pipelined) Reset() { p.res.Reset() }

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq breaks ties), which keeps every simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event simulation loop: a time-ordered queue of
+// callbacks and a current simulated time. It is the engine behind the
+// communication-system models (links, crossbars, network interfaces); the
+// node-level CPU/cache models use the cheaper Resource timelines instead
+// and only meet the Scheduler at transaction boundaries.
+type Scheduler struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nsteps uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Steps reports how many events have been dispatched, a cheap progress and
+// regression metric for tests.
+func (s *Scheduler) Steps() uint64 { return s.nsteps }
+
+// Pending reports the number of events still queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is a model bug and panics.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step dispatches the next event, advancing time to it. It reports whether
+// an event was dispatched.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.at
+	s.nsteps++
+	e.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil dispatches all events scheduled at or before t, then advances
+// time to exactly t.
+func (s *Scheduler) RunUntil(t Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunWhile dispatches events until cond reports false or the queue drains.
+// It reports whether the queue still has events (i.e. the condition, not
+// exhaustion, stopped the run).
+func (s *Scheduler) RunWhile(cond func() bool) bool {
+	for cond() {
+		if !s.Step() {
+			return false
+		}
+	}
+	return true
+}

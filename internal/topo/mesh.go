@@ -1,0 +1,44 @@
+package topo
+
+import "fmt"
+
+// Mesh builds a w×h 2D mesh of single-node routers — the topology of the
+// Intel PARAGON and Cray T3E generation that Section 3 of the paper
+// argues against: "Less expensive mesh topologies, however, as used in
+// the PARAGON or Cray T3E systems, exhibit a poor blocking behavior."
+//
+// Each node attaches through link 0 to its own router, modelled as a
+// (mostly empty) crossbar with one processor port and up to four
+// neighbour ports. Wormhole circuits then hold every router output along
+// a path, so long mesh routes block each other exactly the way the
+// paper's citation [5] describes — the behaviour the blocking experiment
+// compares against the crossbar hierarchy.
+//
+// Router port assignment: 0 = node, 1 = east neighbour, 2 = west,
+// 3 = south, 4 = north.
+func Mesh(w, h int) *Topology {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topo: mesh %dx%d", w, h))
+	}
+	t := New(fmt.Sprintf("mesh%dx%d", w, h), w*h)
+	routers := make([]int, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			routers[i] = t.AddCrossbar(fmt.Sprintf("R%d,%d", x, y))
+			mustConnect(t, i, 0, routers[i], 0, false)
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x+1 < w {
+				mustConnect(t, routers[i], 1, routers[i+1], 2, false) // east-west
+			}
+			if y+1 < h {
+				mustConnect(t, routers[i], 3, routers[i+w], 4, false) // south-north
+			}
+		}
+	}
+	return t
+}

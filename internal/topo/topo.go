@@ -1,0 +1,303 @@
+// Package topo builds and routes PowerMANNA interconnect topologies
+// (Section 3 and Figure 5 of the paper).
+//
+// The interconnect is a hierarchy of 16×16 crossbars. Every node carries
+// two bidirectional link ports attached to two separate networks — the
+// duplicated communication system that doubles bandwidth and lets system
+// software claim one network while applications own the other (Section 4).
+//
+// Two standard configurations are provided:
+//
+//   - Cluster8 (Figure 5a): eight single-board nodes and two crossbars in
+//     one desk-side cabinet. Node i's link 0 attaches to crossbar A port
+//     i, link 1 to crossbar B port i; ports 8–15 of both crossbars remain
+//     free as eight asynchronous dual-links for inter-cluster cabling.
+//
+//   - System256 (Figure 5b): 256 processors = 128 two-way nodes = 16
+//     clusters. Each network's free cluster ports fan out to a stage of
+//     eight central 16×16 crossbars (one link from every cluster to every
+//     central crossbar), forming a permutation network per link plane —
+//     the rows and columns of the figure. Any two nodes are connected
+//     through at most three crossbars, as the paper states.
+//
+// Arbitrary hierarchies can be assembled with the same primitives; routes
+// are found by breadth-first search over the port graph, which is valid
+// because the PowerMANNA crossbar routes any input to any output (unlike
+// the CM-5's level-restricted 8×8 crossbar).
+package topo
+
+import (
+	"fmt"
+
+	"powermanna/internal/xbar"
+)
+
+// NetworkA and NetworkB select which of the duplicated networks (node
+// link ports) a route uses.
+const (
+	NetworkA = 0
+	NetworkB = 1
+)
+
+// port identifies one attachment point on a device.
+type port struct {
+	dev  int // device index: 0..nodes-1 are nodes, then crossbars
+	port int
+}
+
+// edge is one bidirectional physical link.
+type edge struct {
+	peerDev  int
+	peerPort int
+	async    bool // crosses an asynchronous transceiver pair
+}
+
+// Topology is an assembled interconnect.
+type Topology struct {
+	name     string
+	nodes    int
+	xbarName []string
+	// adjacency: per device, port → edge.
+	adj map[port]edge
+}
+
+// New starts an empty topology with the given number of nodes.
+func New(name string, nodes int) *Topology {
+	return &Topology{name: name, nodes: nodes, adj: make(map[port]edge)}
+}
+
+// Name returns the topology label.
+func (t *Topology) Name() string { return t.name }
+
+// Nodes reports the node count.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// Crossbars reports the crossbar count.
+func (t *Topology) Crossbars() int { return len(t.xbarName) }
+
+// CrossbarName returns the label of crossbar i.
+func (t *Topology) CrossbarName(i int) string { return t.xbarName[i] }
+
+// AddCrossbar appends a crossbar and returns its device index (node count
+// + crossbar ordinal).
+func (t *Topology) AddCrossbar(name string) int {
+	t.xbarName = append(t.xbarName, name)
+	return t.nodes + len(t.xbarName) - 1
+}
+
+// xbarIndex converts a device index to a crossbar ordinal.
+func (t *Topology) xbarIndex(dev int) int { return dev - t.nodes }
+
+// isNode reports whether a device index is a node.
+func (t *Topology) isNode(dev int) bool { return dev < t.nodes }
+
+// Connect wires (devA, portA) to (devB, portB) as one bidirectional link.
+// async marks an inter-cabinet link through transceivers. It returns an
+// error if either port is already wired or out of range.
+func (t *Topology) Connect(devA, portA, devB, portB int, async bool) error {
+	for _, p := range []port{{devA, portA}, {devB, portB}} {
+		if err := t.checkPort(p); err != nil {
+			return err
+		}
+		if _, used := t.adj[p]; used {
+			return fmt.Errorf("topo %s: port %v already wired", t.name, p)
+		}
+	}
+	t.adj[port{devA, portA}] = edge{peerDev: devB, peerPort: portB, async: async}
+	t.adj[port{devB, portB}] = edge{peerDev: devA, peerPort: portA, async: async}
+	return nil
+}
+
+func (t *Topology) checkPort(p port) error {
+	switch {
+	case p.dev < 0 || p.dev >= t.nodes+len(t.xbarName):
+		return fmt.Errorf("topo %s: device %d out of range", t.name, p.dev)
+	case t.isNode(p.dev) && (p.port < 0 || p.port > 1):
+		return fmt.Errorf("topo %s: node %d has ports 0 and 1, not %d", t.name, p.dev, p.port)
+	case !t.isNode(p.dev) && (p.port < 0 || p.port >= xbar.Ports):
+		return fmt.Errorf("topo %s: crossbar port %d out of range", t.name, p.port)
+	}
+	return nil
+}
+
+// Hop is one crossbar traversal of a route.
+type Hop struct {
+	// Xbar is the crossbar ordinal (index into Crossbars()).
+	Xbar int
+	// In and Out are the input and output channels used.
+	In, Out int
+	// AsyncIn marks that the link feeding this hop crossed transceivers.
+	AsyncIn bool
+}
+
+// Path is a source-routed connection.
+type Path struct {
+	Src, Dst int
+	Network  int
+	Hops     []Hop
+	// RouteBytes is the message header: one route command per crossbar,
+	// consumed hop by hop (Section 3.1).
+	RouteBytes []byte
+	// AsyncLinks counts transceiver crossings end to end.
+	AsyncLinks int
+}
+
+// Route finds the shortest path from node src to node dst leaving src on
+// the given network (link port). Among equal-length paths the choice is
+// deterministic per (src, dst) pair but *spread*: the crossbar output
+// scan order is rotated by a pair hash, so the eight parallel central
+// crossbars of the Figure 5b system share permutation traffic instead of
+// funnelling through one — the load distribution the duplicated
+// hierarchy is built for.
+func (t *Topology) Route(src, dst, network int) (Path, error) {
+	if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes {
+		return Path{}, fmt.Errorf("topo %s: node out of range (%d, %d)", t.name, src, dst)
+	}
+	if network != NetworkA && network != NetworkB {
+		return Path{}, fmt.Errorf("topo %s: network %d invalid", t.name, network)
+	}
+	if src == dst {
+		return Path{Src: src, Dst: dst, Network: network}, nil
+	}
+	first, ok := t.adj[port{src, network}]
+	if !ok {
+		return Path{}, fmt.Errorf("topo %s: node %d link %d not wired", t.name, src, network)
+	}
+
+	// BFS over devices, starting from the device at the end of src's link.
+	type state struct {
+		dev     int
+		inPort  int
+		asyncIn bool
+	}
+	prev := make(map[int]state) // dev -> how we arrived
+	visited := map[int]bool{src: true, first.peerDev: true}
+	queue := []state{{dev: first.peerDev, inPort: first.peerPort, asyncIn: first.async}}
+	arrival := map[int]state{first.peerDev: queue[0]}
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.dev == dst {
+			found = true
+			break
+		}
+		if t.isNode(cur.dev) {
+			continue // routes only pass through crossbars
+		}
+		// Deterministic expansion order, shuffled per (src, dst, device)
+		// so equal-cost alternatives spread uniformly across parallel
+		// crossbars (a rotation would bias toward the first valid port).
+		order := portOrder(uint64(src)*1_000_003 + uint64(dst)*131 + uint64(network)*17 + uint64(cur.dev)*31)
+		for _, out := range order {
+			e, ok := t.adj[port{cur.dev, out}]
+			if !ok || visited[e.peerDev] {
+				continue
+			}
+			visited[e.peerDev] = true
+			next := state{dev: e.peerDev, inPort: e.peerPort, asyncIn: e.async}
+			prev[e.peerDev] = state{dev: cur.dev, inPort: out} // out port stored in inPort field
+			arrival[e.peerDev] = next
+			queue = append(queue, next)
+		}
+	}
+	if !found {
+		return Path{}, fmt.Errorf("topo %s: no route %d -> %d on network %d", t.name, src, dst, network)
+	}
+
+	// Reconstruct: walk back from dst collecting (crossbar, out port).
+	var rev []Hop
+	async := 0
+	dev := dst
+	for dev != first.peerDev {
+		p := prev[dev]
+		arr := arrival[dev]
+		if arr.asyncIn {
+			async++
+		}
+		rev = append(rev, Hop{Xbar: t.xbarIndex(p.dev), Out: p.inPort})
+		dev = p.dev
+	}
+	if arrival[first.peerDev].asyncIn {
+		async++
+	}
+
+	path := Path{Src: src, Dst: dst, Network: network, AsyncLinks: async}
+	// rev is dst→src; reverse and fill input ports.
+	inPort := first.peerPort
+	for i := len(rev) - 1; i >= 0; i-- {
+		h := rev[i]
+		h.In = inPort
+		// The next hop's input port is the far end of this hop's output.
+		e := t.adj[port{t.nodes + h.Xbar, h.Out}]
+		inPort = e.peerPort
+		h.AsyncIn = false // refined below
+		path.Hops = append(path.Hops, h)
+		path.RouteBytes = append(path.RouteBytes, xbar.EncodeRoute(h.Out))
+	}
+	// Mark async inputs per hop.
+	if first.async && len(path.Hops) > 0 {
+		path.Hops[0].AsyncIn = true
+	}
+	for i := 1; i < len(path.Hops); i++ {
+		e := t.adj[port{t.nodes + path.Hops[i-1].Xbar, path.Hops[i-1].Out}]
+		path.Hops[i].AsyncIn = e.async
+	}
+	return path, nil
+}
+
+// portOrder returns a deterministic pseudo-random permutation of the
+// crossbar ports for the given seed (xorshift-driven Fisher–Yates).
+func portOrder(seed uint64) [xbar.Ports]int {
+	var p [xbar.Ports]int
+	for i := range p {
+		p[i] = i
+	}
+	x := seed*2654435761 + 1
+	for i := xbar.Ports - 1; i > 0; i-- {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		j := int(x % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// MaxCrossbars reports the maximum crossbar count over all node pairs and
+// both networks — the paper's "at most three crossbars" claim for the
+// 256-processor system.
+func (t *Topology) MaxCrossbars() (int, error) {
+	max := 0
+	for s := 0; s < t.nodes; s++ {
+		for d := 0; d < t.nodes; d++ {
+			if s == d {
+				continue
+			}
+			for _, net := range []int{NetworkA, NetworkB} {
+				if _, wired := t.adj[port{s, net}]; !wired {
+					continue // single-network topologies (e.g. meshes)
+				}
+				p, err := t.Route(s, d, net)
+				if err != nil {
+					return 0, err
+				}
+				if len(p.Hops) > max {
+					max = len(p.Hops)
+				}
+			}
+		}
+	}
+	return max, nil
+}
+
+// FreePorts reports unwired ports on crossbar ordinal i.
+func (t *Topology) FreePorts(i int) int {
+	free := 0
+	for p := 0; p < xbar.Ports; p++ {
+		if _, used := t.adj[port{t.nodes + i, p}]; !used {
+			free++
+		}
+	}
+	return free
+}
