@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the pre-PR gate (see README.md "Install and run").
+#
+# Runs the whole verification ladder and stops at the first failure:
+# formatting, vet, build, race-enabled tests, and the determinism-contract
+# lint (cmd/pmlint). A clean exit means the tree is safe to ship.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== pmlint =="
+go run ./cmd/pmlint ./...
+
+echo "ci: all checks passed"

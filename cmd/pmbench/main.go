@@ -44,6 +44,10 @@ func main() {
 
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
+		// Wall-clock harness timing goes to stderr only: stdout is the
+		// results channel and must be a pure function of the model, so two
+		// runs with the same flags are byte-identical (the determinism
+		// contract; see DESIGN.md).
 		start := time.Now()
 		r, err := powermanna.RunExperiment(id, opt)
 		if err != nil {
@@ -59,7 +63,7 @@ func main() {
 			fmt.Println(string(b))
 		} else {
 			fmt.Println(r.Render())
-			fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
+		fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", id, time.Since(start).Seconds())
 	}
 }

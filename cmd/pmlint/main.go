@@ -1,0 +1,143 @@
+// Command pmlint runs the determinism-contract static-analysis suite
+// (internal/analysis) over the module and prints file:line:col
+// diagnostics.
+//
+// Usage:
+//
+//	pmlint ./...             # analyze the whole module
+//	pmlint ./internal/...    # analyze a subtree
+//	pmlint ./internal/sim    # analyze one package
+//	pmlint -list             # list analyzers and exit
+//	pmlint -only determinism ./...
+//
+// Exit codes are machine-readable: 0 means the tree is clean, 1 means at
+// least one diagnostic was reported, 2 means the tool itself failed
+// (bad usage, unparseable or untypeable source).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"powermanna/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := analysis.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pmlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := load(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmlint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pmlint: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// load resolves package patterns (a directory, or a directory/... tree)
+// against the enclosing module and loads every matched package.
+func load(patterns []string) ([]*analysis.Package, error) {
+	root, modpath, err := analysis.ModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	rels := map[string]bool{}
+	for _, pat := range patterns {
+		tree := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			tree = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = root
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %s is outside the module at %s", pat, root)
+		}
+		rel = filepath.ToSlash(rel)
+		if !tree {
+			rels[rel] = true
+			continue
+		}
+		sub, err := analysis.PackageDirs(abs)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sub {
+			r := rel
+			if s != "." {
+				if r == "." {
+					r = s
+				} else {
+					r = r + "/" + s
+				}
+			}
+			rels[r] = true
+		}
+	}
+	sorted := make([]string, 0, len(rels))
+	for r := range rels {
+		sorted = append(sorted, r)
+	}
+	sort.Strings(sorted)
+
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	for _, rel := range sorted {
+		pkg, err := loader.LoadPackage(root, modpath, rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

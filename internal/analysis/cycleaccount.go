@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// cycleName matches identifiers that carry cycle or latency accounting.
+var cycleName = regexp.MustCompile(`(?i)(cycle|laten|delay|penalt|overhead|\blat\b|lat$)`)
+
+// CycleAccount keeps the timing model auditable against the paper: every
+// cycle or latency contribution must be a named, documented constant
+// (like the tables in internal/cpu/cost.go), not a magic number.
+//
+// It flags integer literals of two or more added to (or subtracted from)
+// cycle/latency-carrying expressions — recognized by a sim.Time-style
+// named type called Time, or by an identifier whose name mentions cycles,
+// latency, delay, penalty or overhead. Adding 1 is structural (counting
+// an event) and is allowed. When a package-level constant with the same
+// value exists, the diagnostic names it.
+type CycleAccount struct{}
+
+// Name implements Analyzer.
+func (CycleAccount) Name() string { return "cycleaccount" }
+
+// Doc implements Analyzer.
+func (CycleAccount) Doc() string {
+	return "require named constants for cycle/latency contributions (no magic numbers)"
+}
+
+// Check implements Analyzer.
+func (CycleAccount) Check(pkg *Package) []Diagnostic {
+	if !strings.HasPrefix(pkg.Rel, "internal/") && !strings.HasPrefix(pkg.Rel, "examples/") {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, lit *ast.BasicLit, target string) {
+		msg := fmt.Sprintf("raw literal %s added to cycle/latency value %s: name it as a package-level const so timing stays auditable against the paper", lit.Value, target)
+		if c := constWithValue(pkg, lit); c != "" {
+			msg += fmt.Sprintf(" (existing const %s has this value)", c)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "cycleaccount",
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+						return true
+					}
+					if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+						return true
+					}
+					lit := bareIntLiteral(n.Rhs[0])
+					if lit == nil || !isCycleExpr(pkg, n.Lhs[0]) {
+						return true
+					}
+					report(n.Pos(), lit, exprString(n.Lhs[0]))
+				case *ast.BinaryExpr:
+					if n.Op != token.ADD && n.Op != token.SUB {
+						return true
+					}
+					if lit := bareIntLiteral(n.Y); lit != nil && isCycleExpr(pkg, n.X) {
+						report(n.Pos(), lit, exprString(n.X))
+					} else if lit := bareIntLiteral(n.X); lit != nil && isCycleExpr(pkg, n.Y) {
+						report(n.Pos(), lit, exprString(n.Y))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// bareIntLiteral returns e as an integer literal with value >= 2, or nil.
+func bareIntLiteral(e ast.Expr) *ast.BasicLit {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return nil
+	}
+	if lit.Value == "0" || lit.Value == "1" {
+		return nil
+	}
+	return lit
+}
+
+// isCycleExpr reports whether e carries cycle/latency accounting: its
+// type is a named type called Time (the simulator's clock), or its
+// identifier path mentions cycle/latency vocabulary.
+func isCycleExpr(pkg *Package, e ast.Expr) bool {
+	if t := pkg.Info.TypeOf(e); t != nil {
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Time" {
+			return true
+		}
+	}
+	switch t := e.(type) {
+	case *ast.Ident:
+		return cycleName.MatchString(t.Name)
+	case *ast.SelectorExpr:
+		return cycleName.MatchString(t.Sel.Name)
+	case *ast.CallExpr:
+		if sel, ok := t.Fun.(*ast.SelectorExpr); ok {
+			return cycleName.MatchString(sel.Sel.Name)
+		}
+		if id, ok := t.Fun.(*ast.Ident); ok {
+			return cycleName.MatchString(id.Name)
+		}
+	}
+	return false
+}
+
+// constWithValue finds a package-level integer constant equal to lit, to
+// suggest in the diagnostic. Ties resolve to the lexically first name.
+func constWithValue(pkg *Package, lit *ast.BasicLit) string {
+	want := constant.MakeFromLiteral(lit.Value, token.INT, 0)
+	best := ""
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.Int {
+			continue
+		}
+		if constant.Compare(c.Val(), token.EQL, want) && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		if base := exprString(t.X); base != "" {
+			return base + "." + t.Sel.Name
+		}
+		return t.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(t.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(t.X)
+	case *ast.CallExpr:
+		return exprString(t.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(t.X)
+	}
+	return "expression"
+}

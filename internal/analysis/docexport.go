@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// DocExport requires a doc comment on every exported identifier in
+// internal packages: the internal API is the contract between the model
+// layers, and the doc comment is where a parameter's correspondence to
+// the paper (a table entry, a section, a measured constant) is recorded.
+//
+// Convention follows go/doc: a function, method or type needs its own doc
+// comment; names in a const/var/type group are covered by either a
+// per-spec comment or the group's comment.
+type DocExport struct{}
+
+// Name implements Analyzer.
+func (DocExport) Name() string { return "docexport" }
+
+// Doc implements Analyzer.
+func (DocExport) Doc() string {
+	return "require doc comments on exported identifiers in internal packages"
+}
+
+// Check implements Analyzer.
+func (DocExport) Check(pkg *Package) []Diagnostic {
+	if !strings.HasPrefix(pkg.Rel, "internal/") {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "docexport",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil || !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					recv := receiverTypeName(d.Recv)
+					if !ast.IsExported(recv) {
+						continue
+					}
+					report(d.Name, "exported method (%s).%s is missing a doc comment", recv, d.Name.Name)
+				} else {
+					report(d.Name, "exported function %s is missing a doc comment", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() || s.Doc != nil || d.Doc != nil {
+							continue
+						}
+						report(s.Name, "exported type %s is missing a doc comment", s.Name.Name)
+					case *ast.ValueSpec:
+						if s.Doc != nil || d.Doc != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								report(name, "exported %s %s is missing a doc comment", d.Tok, name.Name)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// receiverTypeName extracts the receiver's base type name ("" if odd).
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck is an errcheck-lite: it flags call statements that discard an
+// error return. Silently dropped errors hide model misconfiguration (a
+// route that failed to build, a malformed experiment ID) and turn what
+// should be a loud failure into silently wrong tables.
+//
+// Scope is deliberately lite: only bare expression statements are
+// flagged. Assigning to _ is an explicit, visible decision and is
+// allowed; deferred calls are idiomatic teardown and are allowed.
+// Calls into package fmt and writes to strings.Builder and bytes.Buffer
+// (which are documented never to fail) are exempt.
+type ErrCheck struct{}
+
+// Name implements Analyzer.
+func (ErrCheck) Name() string { return "errcheck" }
+
+// Doc implements Analyzer.
+func (ErrCheck) Doc() string {
+	return "flag call statements that silently discard an error return"
+}
+
+// Check implements Analyzer.
+func (ErrCheck) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if !returnsError(tv.Type, errType) {
+				return true
+			}
+			name, exempt := calleeName(pkg, call)
+			if exempt {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "errcheck",
+				Message:  fmt.Sprintf("error returned by %s is silently discarded: handle it or assign it to _ explicitly", name),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// returnsError reports whether a call result type contains an error:
+// either the sole result or any element of the result tuple.
+func returnsError(t types.Type, errType types.Type) bool {
+	if types.Identical(t, errType) {
+		return true
+	}
+	tuple, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tuple.Len(); i++ {
+		if types.Identical(tuple.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName resolves a printable name for the called function and
+// whether it is exempt from the check (package fmt, and the never-failing
+// writers of strings.Builder / bytes.Buffer).
+func calleeName(pkg *Package, call *ast.CallExpr) (name string, exempt bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	if obj == nil {
+		return "call", false
+	}
+	name = obj.Name()
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Name() + "." + name
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			return name, true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			recv := sig.Recv().Type().String()
+			if strings.Contains(recv, "strings.Builder") || strings.Contains(recv, "bytes.Buffer") {
+				return name, true
+			}
+		}
+	}
+	return name, false
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. Usage, on the offending line
+// or the line directly above:
+//
+//	//pmlint:allow <analyzer> <reason>
+const allowPrefix = "//pmlint:allow"
+
+// suppressSet records which analyzer is allowed on which line of which
+// file.
+type suppressSet map[string]map[int]map[string]bool // file -> line -> analyzer
+
+// allows reports whether a diagnostic from analyzer at pos is covered by
+// a directive on the same line or the line directly above.
+func (s suppressSet) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// suppressions scans a package's comments for //pmlint:allow directives.
+// It returns the set of valid suppressions plus diagnostics for malformed
+// directives: a missing analyzer name, an unknown analyzer, or a missing
+// reason (the reason is mandatory — suppressions must be auditable).
+func suppressions(pkg *Package, known map[string]bool) (suppressSet, []Diagnostic) {
+	set := suppressSet{}
+	var diags []Diagnostic
+	bad := func(pos token.Position, msg string) {
+		diags = append(diags, Diagnostic{Pos: pos, Analyzer: "pmlint", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// A second "//" starts commentary about the directive (test
+				// fixtures use it for expectations); it is not the reason.
+				rest, _, _ = strings.Cut(rest, "//")
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(pos, "malformed directive: want //pmlint:allow <analyzer> <reason>")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad(pos, "directive names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					bad(pos, "directive for "+name+" is missing the mandatory reason")
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][name] = true
+			}
+		}
+	}
+	return set, diags
+}

@@ -1,0 +1,26 @@
+// Package allow exercises the //pmlint:allow suppression directive.
+package allow
+
+import "time"
+
+func suppressedSameLine() time.Time {
+	return time.Now() //pmlint:allow determinism harness-only timestamp, not in a results path
+}
+
+func suppressedLineAbove() time.Time {
+	//pmlint:allow determinism harness-only timestamp, not in a results path
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	return time.Now() //pmlint:allow determinism   // want `wall-clock read time\.Now` `missing the mandatory reason`
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //pmlint:allow nosuchrule because reasons   // want `wall-clock read time\.Now` `unknown analyzer nosuchrule`
+}
+
+func wrongAnalyzer() time.Time {
+	//pmlint:allow errcheck suppressing the wrong analyzer does not help
+	return time.Now() // want `wall-clock read time\.Now`
+}

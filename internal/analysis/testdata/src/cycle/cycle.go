@@ -1,0 +1,21 @@
+// Package cycle exercises the cycleaccount analyzer.
+package cycle
+
+// Time mirrors the simulator's clock type.
+type Time int64
+
+// busPenalty is a named timing constant the diagnostic should suggest.
+const busPenalty = 3
+
+func account(t Time, latency int) (Time, int) {
+	t += 3                // want `raw literal 3 added to cycle/latency value t.*existing const busPenalty`
+	t = t + busPenalty    // named constants are the sanctioned idiom
+	t += 1                // counting one event is structural, not a timing magic number
+	latency = latency + 7 // want `raw literal 7 added to cycle/latency value latency`
+	return t, latency
+}
+
+func unrelated(count int) int {
+	count += 5 // not a cycle/latency carrier: allowed
+	return count
+}

@@ -1,0 +1,51 @@
+// Package det_maprange exercises the determinism analyzer's map-order
+// rule.
+package det_maprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+func accumulate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `map iteration accumulates into sum`
+		sum += v
+	}
+	return sum
+}
+
+func printing(m map[string]int) {
+	for k, v := range m { // want `map iteration calls fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	// The sanctioned idiom: collect, then sort before anything ordered
+	// happens.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func invert(m map[string]int) map[int]string {
+	// Building a map from a map is order-independent.
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func loopLocal(m map[string]int) {
+	// Writes to variables declared inside the loop body do not accumulate
+	// across iterations.
+	for _, v := range m {
+		double := v * 2
+		_ = double
+	}
+}

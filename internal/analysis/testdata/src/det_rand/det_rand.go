@@ -1,0 +1,18 @@
+// Package det_rand exercises the determinism analyzer's math/rand rule.
+package det_rand
+
+import "math/rand"
+
+func global() int {
+	n := rand.Intn(4) // want `global math/rand source via rand\.Intn`
+	rand.Seed(7)      // want `global math/rand source via rand\.Seed`
+	p := rand.Perm(3) // want `global math/rand source via rand\.Perm`
+	return n + p[0]
+}
+
+func explicit(seed int64) int {
+	// The sanctioned idiom: an explicit generator with a config-derived
+	// seed. Constructors and methods are allowed.
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4) + r.Perm(3)[0]
+}

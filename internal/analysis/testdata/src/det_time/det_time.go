@@ -1,0 +1,18 @@
+// Package det_time exercises the determinism analyzer's wall-clock rule.
+package det_time
+
+import "time"
+
+func clocks() time.Duration {
+	start := time.Now()         // want `wall-clock read time\.Now`
+	d := time.Since(start)      // want `wall-clock read time\.Since`
+	d += time.Until(start)      // want `wall-clock read time\.Until`
+	time.Sleep(time.Nanosecond) // sleeping is not a results-path clock read
+	return d
+}
+
+func simulated() time.Duration {
+	// Pure arithmetic on time.Duration is fine; only host-clock reads are
+	// banned.
+	return 3 * time.Microsecond
+}

@@ -1,0 +1,31 @@
+// Package doc exercises the docexport analyzer.
+package doc
+
+// Documented carries a doc comment, as every exported type must.
+type Documented struct{}
+
+type Bare struct{} // want `exported type Bare is missing a doc comment`
+
+// Describe is documented.
+func (Documented) Describe() string { return "ok" }
+
+func (Documented) Opaque() string { return "?" } // want `exported method \(Documented\)\.Opaque is missing a doc comment`
+
+// Good is documented.
+func Good() {}
+
+func Naked() {} // want `exported function Naked is missing a doc comment`
+
+// Grouped constants are covered by the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var Loose = 3 // want `exported var Loose is missing a doc comment`
+
+type hidden struct{}
+
+func (hidden) Whatever() {} // methods on unexported types are not API
+
+func internalHelper() {}

@@ -1,0 +1,34 @@
+// Package errs exercises the errcheck analyzer.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func two() (int, error) { return 0, errors.New("boom") }
+
+func discards() {
+	mayFail() // want `error returned by errs\.mayFail is silently discarded`
+	two()     // want `error returned by errs\.two is silently discarded`
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard is a visible decision: allowed
+	n, _ := two() // explicit discard: allowed
+	_ = n
+	return nil
+}
+
+func exemptions() string {
+	fmt.Println("fmt is exempt")
+	var b strings.Builder
+	b.WriteString("builder writes never fail")
+	return b.String()
+}

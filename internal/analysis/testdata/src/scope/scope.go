@@ -1,0 +1,17 @@
+// Package scope impersonates a cmd/ package: the determinism, doc and
+// cycle rules only bind internal/... and examples/..., so a command may
+// time its own harness on the wall clock. errcheck applies everywhere.
+package scope
+
+import (
+	"errors"
+	"time"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func HarnessTiming() time.Duration {
+	start := time.Now() // out of determinism scope: commands may time themselves
+	mayFail()           // want `error returned by scope\.mayFail is silently discarded`
+	return time.Since(start)
+}

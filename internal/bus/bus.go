@@ -40,6 +40,7 @@ const (
 	FromPeer
 )
 
+// String names the transfer source for traces and tables.
 func (s Source) String() string {
 	if s == FromMemory {
 		return "memory"

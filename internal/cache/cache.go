@@ -29,6 +29,7 @@ const (
 	Modified
 )
 
+// String renders the MESI state as its single-letter name.
 func (s State) String() string {
 	switch s {
 	case Invalid:
@@ -176,6 +177,7 @@ const (
 	Miss
 )
 
+// String names the lookup outcome for traces and stats.
 func (o Outcome) String() string {
 	switch o {
 	case Hit:

@@ -44,6 +44,7 @@ const (
 	numClasses
 )
 
+// String names the instruction class.
 func (c Class) String() string {
 	names := [...]string{"IntALU", "IntMul", "IntDiv", "FPAdd", "FPMul", "FPMAdd", "FPDiv", "Load", "Store", "Branch"}
 	if int(c) < len(names) {
@@ -77,6 +78,7 @@ const (
 	numUnits
 )
 
+// String names the functional unit.
 func (u Unit) String() string {
 	names := [...]string{"IntALU", "IntMul", "FPU", "LS", "Branch"}
 	if int(u) < len(names) {

@@ -33,6 +33,7 @@ const (
 	Writeback             // dirty-line castout
 )
 
+// String names the dispatcher transaction kind.
 func (k Kind) String() string {
 	switch k {
 	case Read:

@@ -35,9 +35,10 @@ func BlockingBehavior(opt Options) Result {
 		blockedFrac  float64
 		maxRouteHops int
 	}
-	run := func(t *topo.Topology) outcome {
+	// Both topologies must carry identical traffic, so each run gets a
+	// fresh generator restarted from the same configured seed.
+	run := func(t *topo.Topology, rng *rand.Rand) outcome {
 		net := netsim.New(t)
-		rng := rand.New(rand.NewSource(1999)) // deterministic traffic
 		var total sim.Time
 		var worst sim.Time
 		var msgs int
@@ -87,8 +88,8 @@ func BlockingBehavior(opt Options) Result {
 		}
 	}
 
-	hier := run(topo.System256())
-	mesh := run(topo.Mesh(16, 8))
+	hier := run(topo.System256(), opt.rng())
+	mesh := run(topo.Mesh(16, 8), opt.rng())
 
 	tbl := &stats.Table{
 		Title:   "Blocking behavior under permutation traffic (128 nodes, 1 KB messages)",

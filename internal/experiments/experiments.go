@@ -8,17 +8,38 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 
 	"powermanna/internal/stats"
 )
 
+// DefaultSeed seeds the deterministic traffic streams of the stochastic
+// experiments. The zero-value Options reproduces the published tables.
+const DefaultSeed = 1999
+
 // Options tunes experiment sweep sizes.
 type Options struct {
 	// Quick shrinks sweeps to seconds for tests and smoke runs; the full
 	// sweeps reproduce the paper's plotted ranges.
 	Quick bool
+	// Seed drives every random traffic stream (the blocking experiment's
+	// permutations). Zero means DefaultSeed: results are always a pure
+	// function of (experiment, Options) — the determinism contract
+	// forbids the global math/rand source.
+	Seed int64
+}
+
+// rng builds a fresh explicit generator from the configured seed. Each
+// call restarts the stream, so two consumers seeded alike see identical
+// traffic.
+func (o Options) rng() *rand.Rand {
+	seed := o.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return rand.New(rand.NewSource(seed))
 }
 
 // Result is one regenerated table or figure.

@@ -303,3 +303,19 @@ func TestJSONOutput(t *testing.T) {
 		t.Errorf("table JSON broken: %v", err)
 	}
 }
+
+func TestBlockingSeedDeterminism(t *testing.T) {
+	// The determinism contract: a Result is a pure function of
+	// (experiment, Options). Same seed, same bytes.
+	a := BlockingBehavior(Options{Quick: true, Seed: 7})
+	b := BlockingBehavior(Options{Quick: true, Seed: 7})
+	if a.Render() != b.Render() {
+		t.Errorf("two runs with seed 7 differ:\n%s\n----\n%s", a.Render(), b.Render())
+	}
+	// The zero value means DefaultSeed, so published tables reproduce.
+	c := BlockingBehavior(Options{Quick: true})
+	d := BlockingBehavior(Options{Quick: true, Seed: DefaultSeed})
+	if c.Render() != d.Render() {
+		t.Error("zero-value Options does not reproduce the DefaultSeed run")
+	}
+}

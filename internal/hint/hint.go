@@ -37,6 +37,7 @@ const (
 	Int
 )
 
+// String renders the arithmetic variant as the paper spells it.
 func (d DataType) String() string {
 	if d == Double {
 		return "DOUBLE"
@@ -66,6 +67,7 @@ type Result struct {
 	PeakQUIPS float64
 }
 
+// String summarizes the run: machine, variant, peak QUIPS and bounds.
 func (r Result) String() string {
 	return fmt.Sprintf("%s HINT(%s): peak %.3g QUIPS, %d samples, bounds [%.6f, %.6f]",
 		r.Machine, r.Type, r.PeakQUIPS, len(r.Points), r.Lower, r.Upper)

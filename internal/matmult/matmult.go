@@ -36,6 +36,7 @@ const (
 	Transposed
 )
 
+// String names the kernel variant as the paper's figures label it.
 func (v Version) String() string {
 	if v == Naive {
 		return "naive"
@@ -62,6 +63,7 @@ func (r Result) MFLOPS() float64 {
 	return float64(r.Flops) / r.Time.Seconds() / 1e6
 }
 
+// String summarizes the run: machine, variant, size and MFLOPS.
 func (r Result) String() string {
 	return fmt.Sprintf("%s MatMult(%s) N=%d cpus=%d: %.1f MFLOPS in %v",
 		r.Machine, r.Version, r.N, r.CPUs, r.MFLOPS(), r.Time)

@@ -83,8 +83,10 @@ func (q *Queue) Pop(n int) error {
 	return nil
 }
 
-// Pushed and Popped report cumulative traffic.
+// Pushed reports the cumulative words enqueued.
 func (q *Queue) Pushed() int64 { return q.pushed }
+
+// Popped reports the cumulative words dequeued.
 func (q *Queue) Popped() int64 { return q.popped }
 
 // Reset empties the queue and clears counters.

@@ -34,6 +34,7 @@ const (
 	SwitchedFabric
 )
 
+// String names the intra-node datapath kind.
 func (k FabricKind) String() string {
 	if k == SharedBusFabric {
 		return "shared-bus"
