@@ -2,8 +2,10 @@
 # ci.sh — the pre-PR gate (see README.md "Install and run").
 #
 # Runs the whole verification ladder and stops at the first failure:
-# formatting, vet, build, race-enabled tests, and the determinism-contract
-# lint (cmd/pmlint). A clean exit means the tree is safe to ship.
+# formatting, vet, build, race-enabled tests, the determinism-contract
+# lint (cmd/pmlint), a build of every cmd/* binary, and a pmfault smoke
+# campaign pinned against a golden degradation table. A clean exit means
+# the tree is safe to ship.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,5 +29,22 @@ go test -race ./...
 
 echo "== pmlint =="
 go run ./cmd/pmlint ./...
+
+echo "== build cmd binaries =="
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+for d in cmd/*/; do
+    go build -o "$bindir/$(basename "$d")" "./$d"
+done
+
+echo "== pmfault smoke campaign =="
+# Fixed seed; stdout must match the checked-in golden byte for byte (the
+# campaign half of the determinism contract).
+"$bindir/pmfault" --campaign link-cut --seed 1 > "$bindir/pmfault.out"
+if ! cmp -s testdata/pmfault_link-cut_seed1.golden "$bindir/pmfault.out"; then
+    echo "pmfault smoke output diverged from testdata/pmfault_link-cut_seed1.golden:" >&2
+    diff testdata/pmfault_link-cut_seed1.golden "$bindir/pmfault.out" >&2 || true
+    exit 1
+fi
 
 echo "ci: all checks passed"

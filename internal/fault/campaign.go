@@ -1,0 +1,346 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+	"powermanna/internal/topo"
+)
+
+// Campaign run defaults. A campaign is a pure function of (spec, Options),
+// so these are part of the reproducible surface: the CI golden table pins
+// them.
+const (
+	// DefaultSeed drives schedule and traffic generation when Options.Seed
+	// is zero.
+	DefaultSeed = 1
+	// DefaultMessages is the traffic volume per degradation row.
+	DefaultMessages = 400
+	// DefaultPayloadBytes is the per-message payload.
+	DefaultPayloadBytes = 256
+	// DefaultWindow is the simulated span traffic is spread over.
+	DefaultWindow = 2 * sim.Millisecond
+	// faultSpan limits injection times to the window's first half, so
+	// traffic after the fault exists to feel it.
+	faultSpanDiv = 2
+	// corruptDiv sizes a corruption or stall window as window/corruptDiv.
+	corruptDiv = 8
+	// stuckOutlast makes stuck-busy windows outlast the whole run: stuck
+	// means stuck.
+	stuckOutlast = 2
+	// faultSeedStride separates the fault-schedule stream of each
+	// degradation row from the (shared) traffic stream.
+	faultSeedStride = 1_000_003
+)
+
+// Campaign is a named fault-injection experiment: which fault kinds to
+// inject and a sweep of fault counts, each count producing one row of the
+// degradation table.
+type Campaign struct {
+	// Name is the CLI key (pmfault --campaign <name>).
+	Name string
+	// Description says what the campaign demonstrates.
+	Description string
+	// Kinds are the fault classes drawn from when scheduling.
+	Kinds []Kind
+	// Rates is the fault-count sweep; a leading 0 row is the
+	// latency-inflation baseline.
+	Rates []int
+	// BothPlanes lets faults land on plane B too; single-plane campaigns
+	// attack only plane A, so failover always has a healthy plane and no
+	// message may be lost.
+	BothPlanes bool
+}
+
+// Campaigns lists the named campaigns in CLI order.
+func Campaigns() []Campaign {
+	return []Campaign{
+		{
+			Name:        "link-cut",
+			Description: "sever plane-A uplink wires; every affected message must fail over to plane B",
+			Kinds:       []Kind{LinkCut},
+			Rates:       []int{0, 1, 2, 4},
+		},
+		{
+			Name:        "xbar-stuck",
+			Description: "wedge plane-A crossbar output arbiters; circuits time out and fail over",
+			Kinds:       []Kind{XbarStuck},
+			Rates:       []int{0, 1, 2, 4},
+		},
+		{
+			Name:        "flit-corrupt",
+			Description: "garble bytes on plane-A wires; the NI's CRC catches it and the NACK path retries",
+			Kinds:       []Kind{FlitCorrupt},
+			Rates:       []int{0, 1, 2, 4},
+		},
+		{
+			Name:        "ni-stall",
+			Description: "wedge plane-A link interfaces; the driver abandons the FIFO and fails over",
+			Kinds:       []Kind{NIStall},
+			Rates:       []int{0, 1, 2, 4},
+		},
+		{
+			Name:        "mixed",
+			Description: "all fault classes on both planes; messages may fail when both planes are hit",
+			Kinds:       []Kind{LinkCut, XbarStuck, FlitCorrupt, NIStall},
+			Rates:       []int{0, 2, 4, 8},
+			BothPlanes:  true,
+		},
+	}
+}
+
+// CampaignByName finds a campaign by its CLI key.
+func CampaignByName(name string) (Campaign, bool) {
+	for _, c := range Campaigns() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Campaign{}, false
+}
+
+// Options configures a campaign run. The zero value is a full default
+// run: seed 1, Cluster8, 400 messages of 256 bytes over 2 ms.
+type Options struct {
+	// Seed drives fault scheduling and traffic; zero means DefaultSeed.
+	Seed int64
+	// Topology is the interconnect under test; nil means topo.Cluster8().
+	Topology *topo.Topology
+	// Messages and PayloadBytes shape the traffic; zero means the
+	// defaults above.
+	Messages, PayloadBytes int
+	// Window is the simulated span traffic spreads over; zero means
+	// DefaultWindow.
+	Window sim.Time
+}
+
+func (o Options) resolved() Options {
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Topology == nil {
+		o.Topology = topo.Cluster8()
+	}
+	if o.Messages == 0 {
+		o.Messages = DefaultMessages
+	}
+	if o.PayloadBytes == 0 {
+		o.PayloadBytes = DefaultPayloadBytes
+	}
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	return o
+}
+
+// Row is one line of the degradation table: the outcome of one traffic
+// run under a fixed number of injected faults.
+type Row struct {
+	// Faults is the injected fault count.
+	Faults int
+	// Delivered, Retried and Failed partition the messages: Retried ⊆
+	// Delivered arrived via plane-B failover; Failed found no plane.
+	Delivered, Retried, Failed int
+	// MeanLatency averages sender-observed latency over delivered
+	// messages, detection and retry costs included.
+	MeanLatency sim.Time
+	// Inflation is MeanLatency over the fault-free row's mean.
+	Inflation float64
+}
+
+// Result is one campaign's full outcome.
+type Result struct {
+	// Campaign is the spec that ran.
+	Campaign Campaign
+	// Options are the resolved run parameters.
+	Options Options
+	// Rows is the degradation table, one row per Rates entry.
+	Rows []Row
+	// Schedule is the highest-rate row's fault schedule, sorted by time.
+	Schedule []Event
+	// PlaneA and PlaneB are the highest-rate row's degraded-mode
+	// counters.
+	PlaneA, PlaneB stats.CounterSet
+}
+
+// message is one unit of generated traffic.
+type message struct {
+	at       sim.Time
+	src, dst int
+}
+
+// traffic spreads opt.Messages across the window with seeded jitter,
+// random distinct endpoints, ascending in time. The stream depends only
+// on the rng, so every degradation row sees identical traffic.
+func traffic(t *topo.Topology, opt Options, rng *rand.Rand) []message {
+	msgs := make([]message, 0, opt.Messages)
+	spacing := opt.Window / sim.Time(opt.Messages)
+	if spacing <= 0 {
+		spacing = 1
+	}
+	for i := 0; i < opt.Messages; i++ {
+		jitter := sim.Time(rng.Int63n(int64(spacing/faultSpanDiv) + 1))
+		src := rng.Intn(t.Nodes())
+		dst := rng.Intn(t.Nodes() - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs = append(msgs, message{at: spacing*sim.Time(i) + jitter, src: src, dst: dst})
+	}
+	return msgs
+}
+
+// schedule draws count faults for the campaign from the rng: kind, plane,
+// time in the window's first half, and a target that exists in the
+// topology (a node's uplink, a wired output port of a plane's crossbar).
+func schedule(c Campaign, t *topo.Topology, count int, window sim.Time, rng *rand.Rand) []Event {
+	planes := t.CrossbarPlanes()
+	// Crossbar ordinals per plane, ascending — deterministic target pools.
+	var pool [2][]int
+	for xi, p := range planes {
+		if p == topo.NetworkA || p == topo.NetworkB {
+			pool[p] = append(pool[p], xi)
+		}
+	}
+	events := make([]Event, 0, count)
+	for i := 0; i < count; i++ {
+		kind := c.Kinds[rng.Intn(len(c.Kinds))]
+		plane := topo.NetworkA
+		if c.BothPlanes && rng.Intn(2) == 1 {
+			plane = topo.NetworkB
+		}
+		at := sim.Time(rng.Int63n(int64(window / faultSpanDiv)))
+		e := Event{Kind: kind, At: at, Plane: plane}
+		switch kind {
+		case LinkCut:
+			e.Node = rng.Intn(t.Nodes())
+		case FlitCorrupt:
+			e.Node = rng.Intn(t.Nodes())
+			e.Until = at + window/corruptDiv
+		case NIStall:
+			e.Node = rng.Intn(t.Nodes())
+			e.Until = at + window/corruptDiv
+		case XbarStuck:
+			if len(pool[plane]) == 0 {
+				continue // no crossbar serves this plane; drop the event
+			}
+			e.Xbar = pool[plane][rng.Intn(len(pool[plane]))]
+			wired := t.WiredPorts(e.Xbar)
+			e.Out = wired[rng.Intn(len(wired))]
+			e.Until = window * stuckOutlast
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// Run executes the campaign: for each fault count in the sweep it builds
+// a fresh network over the topology, generates the (rate-independent)
+// traffic and a (rate-dependent) fault schedule from the seed, posts
+// every message through the failover protocol with faults applied in
+// time order, and collects a degradation row. Deterministic: same spec
+// and options, byte-identical Result.
+func Run(c Campaign, opt Options) (*Result, error) {
+	opt = opt.resolved()
+	if len(c.Rates) == 0 || len(c.Kinds) == 0 {
+		return nil, fmt.Errorf("fault: campaign %q has no rates or kinds", c.Name)
+	}
+	res := &Result{Campaign: c, Options: opt}
+	cfg := netsim.DefaultFailover()
+	for _, rate := range c.Rates {
+		net := netsim.New(opt.Topology)
+		msgs := traffic(opt.Topology, opt, rand.New(rand.NewSource(opt.Seed)))
+		events := schedule(c, opt.Topology, rate,
+			opt.Window, rand.New(rand.NewSource(opt.Seed+faultSeedStride*int64(rate))))
+		inj := NewInjector(net, events)
+		row := Row{Faults: rate}
+		var latSum sim.Time
+		for _, m := range msgs {
+			inj.ApplyUntil(m.at)
+			d, err := net.SendReliable(m.at, m.src, m.dst, opt.PayloadBytes, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fault: campaign %q: %w", c.Name, err)
+			}
+			switch {
+			case d.Failed:
+				row.Failed++
+			default:
+				row.Delivered++
+				latSum += d.Latency()
+				if d.Retried {
+					row.Retried++
+				}
+			}
+		}
+		if row.Delivered > 0 {
+			row.MeanLatency = latSum / sim.Time(row.Delivered)
+		}
+		if base := res.baseline(); base > 0 && row.MeanLatency > 0 {
+			row.Inflation = float64(row.MeanLatency) / float64(base)
+		} else if row.Faults == 0 {
+			row.Inflation = 1
+		}
+		res.Rows = append(res.Rows, row)
+		// The sweep's last (highest-rate) run provides the detailed view.
+		res.Schedule = inj.Events()
+		res.PlaneA = net.PlaneCounterSet(topo.NetworkA)
+		res.PlaneB = net.PlaneCounterSet(topo.NetworkB)
+	}
+	return res, nil
+}
+
+// baseline returns the fault-free mean latency once its row exists.
+func (r *Result) baseline() sim.Time {
+	for _, row := range r.Rows {
+		if row.Faults == 0 {
+			return row.MeanLatency
+		}
+	}
+	return 0
+}
+
+// Table renders the degradation table.
+func (r *Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("degradation — %s", r.Campaign.Name),
+		Columns: []string{"faults", "delivered", "retried", "failed", "mean-lat-us", "inflation"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Faults),
+			fmt.Sprintf("%d", row.Delivered),
+			fmt.Sprintf("%d", row.Retried),
+			fmt.Sprintf("%d", row.Failed),
+			fmt.Sprintf("%.3f", row.MeanLatency.Seconds()*1e6),
+			fmt.Sprintf("%.3f", row.Inflation),
+		)
+	}
+	return t
+}
+
+// Render produces the campaign's full deterministic text block: header,
+// degradation table, the highest-rate fault schedule, and per-plane
+// degraded-mode counters.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### campaign %s — %s\n", r.Campaign.Name, r.Campaign.Description)
+	fmt.Fprintf(&b, "topology %s, seed %d, %d messages x %d B over %v\n\n",
+		r.Options.Topology.Name(), r.Options.Seed, r.Options.Messages,
+		r.Options.PayloadBytes, r.Options.Window)
+	b.WriteString(r.Table().Render())
+	fmt.Fprintf(&b, "\nfault schedule at %d faults:\n", r.Rows[len(r.Rows)-1].Faults)
+	if len(r.Schedule) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, e := range r.Schedule {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	b.WriteByte('\n')
+	b.WriteString(r.PlaneA.Render())
+	b.WriteString(r.PlaneB.Render())
+	return b.String()
+}

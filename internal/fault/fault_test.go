@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// TestCampaignDeterminism is the campaign half of the determinism
+// contract: a campaign is a pure function of (spec, Options). The same
+// seed must render byte-identically; a different seed must not.
+func TestCampaignDeterminism(t *testing.T) {
+	for _, c := range Campaigns() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			a, err := Run(c, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(c, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() != b.Render() {
+				t.Fatal("same seed rendered differently")
+			}
+			d, err := Run(c, Options{Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() == d.Render() {
+				t.Fatal("seeds 1 and 2 rendered identically")
+			}
+		})
+	}
+}
+
+// TestGoldenTable pins the default link-cut campaign against the same
+// golden file ci.sh compares cmd/pmfault stdout to — cmd/pmfault prints
+// exactly Result.Render(), so drift is caught by `go test` alone.
+func TestGoldenTable(t *testing.T) {
+	golden := filepath.Join("..", "..", "testdata", "pmfault_link-cut_seed1.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with: go run ./cmd/pmfault --campaign link-cut --seed 1 > %s)", err, golden)
+	}
+	c, _ := CampaignByName("link-cut")
+	r, err := Run(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Render(); got != string(want) {
+		t.Errorf("campaign output diverged from %s;\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestSinglePlaneCampaignsNeverLoseMessages checks the redundancy claim
+// the campaigns exist to reproduce (Section 4): while plane B is healthy,
+// every message completes — faults convert deliveries into failovers,
+// never into losses — and nonzero fault rates actually exercise plane B.
+func TestSinglePlaneCampaignsNeverLoseMessages(t *testing.T) {
+	for _, c := range Campaigns() {
+		if c.BothPlanes {
+			continue
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			r, err := Run(c, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sawRetry := false
+			for _, row := range r.Rows {
+				if row.Failed != 0 {
+					t.Errorf("rate %d: %d messages lost with plane B healthy", row.Faults, row.Failed)
+				}
+				if row.Delivered+row.Failed != r.Options.Messages {
+					t.Errorf("rate %d: %d+%d messages, want %d", row.Faults, row.Delivered, row.Failed, r.Options.Messages)
+				}
+				if row.Faults == 0 && row.Retried != 0 {
+					t.Errorf("fault-free row retried %d messages", row.Retried)
+				}
+				if row.Faults > 0 && row.Retried > 0 {
+					sawRetry = true
+				}
+			}
+			if !sawRetry {
+				t.Error("no row exercised plane-B failover")
+			}
+			if r.PlaneB.Get("delivered") == 0 {
+				t.Error("plane B delivered nothing at the highest rate")
+			}
+		})
+	}
+}
+
+func TestLatencyInflationMonotoneForLinkCut(t *testing.T) {
+	c, _ := CampaignByName("link-cut")
+	r, err := Run(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Inflation < r.Rows[i-1].Inflation {
+			t.Errorf("inflation not monotone: row %d = %.3f after %.3f",
+				i, r.Rows[i].Inflation, r.Rows[i-1].Inflation)
+		}
+	}
+	if r.Rows[0].Inflation != 1 {
+		t.Errorf("baseline inflation = %.3f, want 1", r.Rows[0].Inflation)
+	}
+}
+
+func TestInjectorAppliesInTimeOrder(t *testing.T) {
+	net := netsim.New(topo.Cluster8())
+	events := []Event{
+		{Kind: LinkCut, At: 30 * sim.Microsecond, Plane: topo.NetworkA, Node: 1},
+		{Kind: LinkCut, At: 10 * sim.Microsecond, Plane: topo.NetworkA, Node: 0},
+		{Kind: NIStall, At: 20 * sim.Microsecond, Until: 25 * sim.Microsecond, Plane: topo.NetworkA, Node: 2},
+	}
+	inj := NewInjector(net, events)
+	if inj.Pending() != 3 {
+		t.Fatalf("Pending = %d", inj.Pending())
+	}
+	if got := inj.Events()[0].Node; got != 0 {
+		t.Errorf("schedule not sorted by time: first event node %d", got)
+	}
+	if fired := inj.ApplyUntil(15 * sim.Microsecond); fired != 1 {
+		t.Errorf("ApplyUntil(15us) fired %d, want 1", fired)
+	}
+	// Node 0's uplink is now cut; node 1's is not yet.
+	d, err := net.SendReliable(16*sim.Microsecond, 0, 3, 64, netsim.DefaultFailover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Retried {
+		t.Error("applied cut had no effect")
+	}
+	d, err = net.SendReliable(17*sim.Microsecond, 1, 3, 64, netsim.DefaultFailover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Retried {
+		t.Error("unapplied future cut already in effect")
+	}
+	if fired := inj.ApplyUntil(1 * sim.Millisecond); fired != 2 {
+		t.Errorf("second ApplyUntil fired %d, want 2", fired)
+	}
+	if inj.Pending() != 0 {
+		t.Errorf("Pending = %d after full apply", inj.Pending())
+	}
+}
+
+func TestScheduleTargetsRightPlane(t *testing.T) {
+	c, _ := CampaignByName("xbar-stuck")
+	tp := topo.System256()
+	planes := tp.CrossbarPlanes()
+	r, err := Run(c, Options{Seed: 1, Topology: tp, Messages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schedule) == 0 {
+		t.Fatal("empty schedule at highest rate")
+	}
+	for _, e := range r.Schedule {
+		if e.Kind != XbarStuck {
+			t.Fatalf("wrong kind scheduled: %v", e)
+		}
+		if e.Plane != topo.NetworkA {
+			t.Errorf("single-plane campaign scheduled plane %d", e.Plane)
+		}
+		if planes[e.Xbar] != topo.NetworkA {
+			t.Errorf("plane-A fault aimed at crossbar %s on plane %d",
+				tp.CrossbarName(e.Xbar), planes[e.Xbar])
+		}
+	}
+}
+
+func TestMixedCampaignOnSystem256(t *testing.T) {
+	c, _ := CampaignByName("mixed")
+	r, err := Run(c, Options{Seed: 1, Topology: topo.System256(), Messages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Delivered+row.Failed != 128 {
+			t.Errorf("rate %d: messages unaccounted: %+v", row.Faults, row)
+		}
+	}
+}
+
+func TestCampaignByName(t *testing.T) {
+	if _, ok := CampaignByName("no-such-campaign"); ok {
+		t.Error("unknown campaign resolved")
+	}
+	for _, c := range Campaigns() {
+		got, ok := CampaignByName(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Errorf("CampaignByName(%q) = %v, %v", c.Name, got.Name, ok)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{LinkCut: "link-cut", XbarStuck: "xbar-stuck", FlitCorrupt: "flit-corrupt", NIStall: "ni-stall"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind string unhelpful")
+	}
+}

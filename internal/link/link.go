@@ -76,9 +76,10 @@ func (c Config) TransferTime(n int) sim.Time {
 // the FIFO models on either side — a transfer is only scheduled when the
 // receiving FIFO has space, which is exactly what the stop wire enforces.
 type Wire struct {
-	cfg  Config
-	res  sim.Resource
-	sent int64
+	cfg    Config
+	res    sim.Resource
+	sent   int64
+	faults wireFaults
 }
 
 // NewWire builds a wire. It panics on invalid configuration.
@@ -122,10 +123,11 @@ func (w *Wire) BytesSent() int64 { return w.sent }
 // Busy reports accumulated wire occupancy.
 func (w *Wire) Busy() sim.Time { return w.res.Busy() }
 
-// Reset clears the timeline and counters.
+// Reset clears the timeline, counters and injected fault state.
 func (w *Wire) Reset() {
 	w.res.Reset()
 	w.sent = 0
+	w.faults = wireFaults{}
 }
 
 // Transceiver models the asynchronous inter-cabinet transceiver pair

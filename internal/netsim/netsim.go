@@ -39,6 +39,9 @@ type Network struct {
 	wires map[wireKey]*link.Wire
 	nis   []*ni.NI
 	sent  int64
+	// planes accumulates per-plane degraded-mode counters for the
+	// failover protocol (failover.go).
+	planes [ni.LinksPerNode]PlaneCounters
 }
 
 type wireKey struct {
@@ -97,6 +100,49 @@ type Transit struct {
 	// WireBytes is the on-wire message length including header, CRC and
 	// close command.
 	WireBytes int
+	// Corrupted marks a message that arrived but fails the receive-side
+	// CRC check (Section 3.3): it crossed a wire inside an injected
+	// corruption window, or a wire was severed mid-stream and the tail
+	// never arrived. The sender does not see this; the receiver does.
+	Corrupted bool
+}
+
+// DownError reports a send whose wormhole circuit could not form on the
+// chosen plane: the header reached a severed wire, or waiting for a busy
+// resource exceeded the caller's setup timeout (a stuck-busy crossbar
+// output holds its channel forever). The sender itself learns of the
+// failure only through the reliability protocol's acknowledgment timeout;
+// At records when the condition arose inside the network.
+type DownError struct {
+	// Plane is the network plane (topo.NetworkA/B) the send was on.
+	Plane int
+	// Cut distinguishes a severed wire from a setup timeout.
+	Cut bool
+	// At is when the failure condition was met on the path walk.
+	At sim.Time
+}
+
+// Error implements error.
+func (e *DownError) Error() string {
+	if e.Cut {
+		return fmt.Sprintf("netsim: plane %d down: severed wire at %v", e.Plane, e.At)
+	}
+	return fmt.Sprintf("netsim: plane %d down: circuit setup timed out at %v", e.Plane, e.At)
+}
+
+// CutWire severs the directed wire leaving (dev, port) from t onward —
+// the link-cut fault. Device indexing follows the topology: 0..Nodes()-1
+// are nodes (port = network plane), then crossbars (port = output
+// channel).
+func (n *Network) CutWire(dev, port int, t sim.Time) {
+	n.wire(dev, port, 0).CutAt(t)
+}
+
+// CorruptWire schedules a corruption window on the directed wire leaving
+// (dev, port): messages crossing it during [from, until) arrive garbled
+// and fail the destination NI's CRC check.
+func (n *Network) CorruptWire(dev, port int, from, until sim.Time) {
+	n.wire(dev, port, 0).CorruptBetween(from, until)
 }
 
 // Send computes the transit of a payload of the given size along path,
@@ -113,6 +159,16 @@ type Transit struct {
 // resource is claimed from its setup until the message has fully passed.
 // Sends are processed one at a time, so the peeked times stay valid.
 func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, error) {
+	return n.send(at, path, payloadBytes, 0)
+}
+
+// send is Send with fault awareness: a positive setupTimeout bounds the
+// wait at any single busy resource (wire entry or crossbar output) before
+// the attempt is abandoned with a DownError, and severed wires on the
+// path abort the attempt outright. Failed attempts claim no resources —
+// the partial circuit the real header would briefly hold until teardown
+// is not modelled (DESIGN.md, failover timing).
+func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeout sim.Time) (Transit, error) {
 	if payloadBytes < 0 {
 		return Transit{}, fmt.Errorf("netsim: negative payload")
 	}
@@ -146,6 +202,12 @@ func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, 
 	for _, hop := range path.Hops {
 		w := n.wire(fromDev, fromPort, 0)
 		wStart := sim.Max(head, w.FreeAt())
+		if w.DeadAt(wStart) {
+			return Transit{}, &DownError{Plane: path.Network, Cut: true, At: wStart}
+		}
+		if setupTimeout > 0 && wStart-head > setupTimeout {
+			return Transit{}, &DownError{Plane: path.Network, At: head + setupTimeout}
+		}
 		wireClaims = append(wireClaims, wireClaim{w: w, start: wStart, bytes: remaining})
 		lat := n.linkCfg.PropagationDelay + byteTime
 		if hop.AsyncIn {
@@ -154,6 +216,9 @@ func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, 
 		headArrive := wStart + lat
 		x := n.xbars[hop.Xbar]
 		setupStart := sim.Max(headArrive, x.OutputFreeAt(hop.Out))
+		if setupTimeout > 0 && setupStart-headArrive > setupTimeout {
+			return Transit{}, &DownError{Plane: path.Network, At: headArrive + setupTimeout}
+		}
 		hopClaims = append(hopClaims, hopClaim{x: x, out: hop.Out, requested: headArrive, start: setupStart})
 		head = setupStart + xbar.RouteSetup
 		fromDev, fromPort = n.topo.Nodes()+hop.Xbar, hop.Out
@@ -161,9 +226,28 @@ func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, 
 	}
 	lastWire := n.wire(fromDev, fromPort, 0)
 	lwStart := sim.Max(head, lastWire.FreeAt())
+	if lastWire.DeadAt(lwStart) {
+		return Transit{}, &DownError{Plane: path.Network, Cut: true, At: lwStart}
+	}
+	if setupTimeout > 0 && lwStart-head > setupTimeout {
+		return Transit{}, &DownError{Plane: path.Network, At: head + setupTimeout}
+	}
 	wireClaims = append(wireClaims, wireClaim{w: lastWire, start: lwStart, bytes: remaining})
 	first := lwStart + n.linkCfg.PropagationDelay + byteTime
 	last := first + bodyTime
+
+	// The circuit forms. A wire severed while the body streams truncates
+	// the message; a corruption window garbles it. Both surface only at
+	// the destination's CRC check, so the transit still claims the path.
+	corrupted := false
+	for _, c := range wireClaims {
+		if cut, ok := c.w.CutTime(); ok && cut > c.start && cut <= last {
+			corrupted = true
+		}
+		if c.w.CorruptedIn(c.start, last) {
+			corrupted = true
+		}
+	}
 
 	// Pass 2: claim the full circuit until the close command passes.
 	for _, c := range wireClaims {
@@ -172,7 +256,7 @@ func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, 
 	for _, c := range hopClaims {
 		c.x.HoldOutput(c.requested, c.start, last, c.out)
 	}
-	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes}, nil
+	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes, Corrupted: corrupted}, nil
 }
 
 // Reset clears all crossbar and wire timelines and NI state.
@@ -187,4 +271,5 @@ func (n *Network) Reset() {
 		d.Reset()
 	}
 	n.sent = 0
+	n.planes = [ni.LinksPerNode]PlaneCounters{}
 }

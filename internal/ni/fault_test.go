@@ -1,0 +1,51 @@
+package ni
+
+import (
+	"testing"
+
+	"powermanna/internal/sim"
+)
+
+func TestStallDefersSends(t *testing.T) {
+	l := NewLinkIF()
+	l.Stall(10*sim.Microsecond, 20*sim.Microsecond)
+	if got := l.ReadyAt(5 * sim.Microsecond); got != 5*sim.Microsecond {
+		t.Errorf("ReadyAt before window = %v, want unchanged", got)
+	}
+	if got := l.ReadyAt(10 * sim.Microsecond); got != 20*sim.Microsecond {
+		t.Errorf("ReadyAt at window start = %v, want window end", got)
+	}
+	if got := l.ReadyAt(20 * sim.Microsecond); got != 20*sim.Microsecond {
+		t.Errorf("ReadyAt at window end = %v, want unchanged (half-open)", got)
+	}
+}
+
+func TestStallAbuttingWindowsChain(t *testing.T) {
+	l := NewLinkIF()
+	// Deliberately out of order: ReadyAt must chain across both.
+	l.Stall(20*sim.Microsecond, 30*sim.Microsecond)
+	l.Stall(10*sim.Microsecond, 20*sim.Microsecond)
+	if got := l.ReadyAt(15 * sim.Microsecond); got != 30*sim.Microsecond {
+		t.Errorf("ReadyAt = %v, want 30us across abutting windows", got)
+	}
+}
+
+func TestTimingLevelCounters(t *testing.T) {
+	l := NewLinkIF()
+	l.RecordFrame()
+	l.RecordCRCError()
+	l.RecordCRCError()
+	if l.FramesReceived() != 1 || l.CRCErrors() != 2 {
+		t.Errorf("counters = %d frames, %d crc errors; want 1, 2",
+			l.FramesReceived(), l.CRCErrors())
+	}
+	l.Reset()
+	if l.ReadyAt(0) != 0 || l.CRCErrors() != 0 || l.FramesReceived() != 0 {
+		t.Error("Reset incomplete")
+	}
+	l.Stall(0, 1*sim.Microsecond)
+	l.Reset()
+	if l.ReadyAt(0) != 0 {
+		t.Error("Reset kept stall windows")
+	}
+}

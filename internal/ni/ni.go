@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"powermanna/internal/link"
+	"powermanna/internal/sim"
 )
 
 // Default geometry from Section 3.3.
@@ -92,12 +93,19 @@ func (q *Queue) Popped() int64 { return q.popped }
 // Reset empties the queue and clears counters.
 func (q *Queue) Reset() { q.used, q.pushed, q.popped = 0, 0, 0 }
 
+// stallWindow is one injected interval [from, until) during which the
+// link interface accepts no new sends (internal/fault's NI-stall fault).
+type stallWindow struct {
+	from, until sim.Time
+}
+
 // LinkIF is one link interface: a send and a receive FIFO. Sending and
 // receiving operate simultaneously (Section 3.3).
 type LinkIF struct {
 	Send, Recv *Queue
 	crcErrors  int64
 	received   int64
+	stalls     []stallWindow
 }
 
 // NewLinkIF builds a link interface with the default FIFO geometry.
@@ -123,11 +131,50 @@ func (l *LinkIF) AcceptFrame(body []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// Reset clears FIFOs and counters.
+// RecordCRCError counts a receive-side CRC failure observed on the
+// timing-level path (internal/netsim), where messages carry sizes rather
+// than functional bytes; the functional path counts through AcceptFrame.
+func (l *LinkIF) RecordCRCError() { l.crcErrors++ }
+
+// RecordFrame counts a message delivered intact on the timing-level path,
+// mirroring what AcceptFrame does for functional frames.
+func (l *LinkIF) RecordFrame() { l.received++ }
+
+// Stall injects a fault window [from, until) during which the interface
+// accepts no new sends — a wedged interface ASIC or a driver that stopped
+// draining the send FIFO. Sends presented inside the window are deferred
+// to the window's end; the fault-aware send path fails over to the other
+// plane when the deferral exceeds its patience.
+func (l *LinkIF) Stall(from, until sim.Time) {
+	if until <= from {
+		return
+	}
+	l.stalls = append(l.stalls, stallWindow{from: from, until: until})
+}
+
+// ReadyAt reports when a send presented at `at` can actually enter the
+// interface, deferring past every stall window covering that instant.
+func (l *LinkIF) ReadyAt(at sim.Time) sim.Time {
+	// Windows may abut or nest; iterate to a fixpoint. The list is tiny
+	// (faults per campaign, not per message).
+	for moved := true; moved; {
+		moved = false
+		for _, w := range l.stalls {
+			if w.from <= at && at < w.until {
+				at = w.until
+				moved = true
+			}
+		}
+	}
+	return at
+}
+
+// Reset clears FIFOs, counters and injected stall windows.
 func (l *LinkIF) Reset() {
 	l.Send.Reset()
 	l.Recv.Reset()
 	l.crcErrors, l.received = 0, 0
+	l.stalls = nil
 }
 
 // NI is a node's full network interface: two link interfaces, one per

@@ -200,6 +200,54 @@ func formatNum(v float64) string {
 	}
 }
 
+// Counter is one named count in a CounterSet.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// CounterSet is an ordered list of named integer counters — the reporting
+// shape for degraded-mode statistics (per-plane delivery, failover and
+// fault-detection counts). Insertion order is the render order, so output
+// is deterministic by construction; never populate one from a map range.
+type CounterSet struct {
+	Title    string
+	Counters []Counter
+}
+
+// Add appends a counter.
+func (c *CounterSet) Add(name string, v int64) {
+	c.Counters = append(c.Counters, Counter{Name: name, Value: v})
+}
+
+// Get returns the first counter with the given name (0 if absent).
+func (c *CounterSet) Get(name string) int64 {
+	for _, ct := range c.Counters {
+		if ct.Name == name {
+			return ct.Value
+		}
+	}
+	return 0
+}
+
+// Render produces aligned "name  value" lines under the title.
+func (c *CounterSet) Render() string {
+	w := 0
+	for _, ct := range c.Counters {
+		if len(ct.Name) > w {
+			w = len(ct.Name)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "-- %s --\n", c.Title)
+	}
+	for _, ct := range c.Counters {
+		fmt.Fprintf(&b, "%-*s  %d\n", w, ct.Name, ct.Value)
+	}
+	return b.String()
+}
+
 // Table is a titled fixed-width table.
 type Table struct {
 	Title   string

@@ -1,0 +1,64 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrossbarPlanesCluster8(t *testing.T) {
+	tp := Cluster8()
+	planes := tp.CrossbarPlanes()
+	if len(planes) != 2 || planes[0] != NetworkA || planes[1] != NetworkB {
+		t.Errorf("planes = %v, want [A B]", planes)
+	}
+}
+
+func TestCrossbarPlanesSystem256(t *testing.T) {
+	tp := System256()
+	planes := tp.CrossbarPlanes()
+	for xi, p := range planes {
+		name := tp.CrossbarName(xi)
+		wantA := strings.HasPrefix(name, "A") || strings.HasPrefix(name, "CA")
+		if wantA && p != NetworkA {
+			t.Errorf("crossbar %s on plane %d, want A", name, p)
+		}
+		if !wantA && p != NetworkB {
+			t.Errorf("crossbar %s on plane %d, want B", name, p)
+		}
+	}
+}
+
+func TestCrossbarPlanesMeshSingleNetwork(t *testing.T) {
+	// A topology wired only on plane A: its crossbars are all plane A.
+	tp := New("one-plane", 2)
+	x := tp.AddCrossbar("X")
+	if err := tp.Connect(0, NetworkA, x, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Connect(1, NetworkA, x, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	planes := tp.CrossbarPlanes()
+	if planes[0] != NetworkA {
+		t.Errorf("planes = %v", planes)
+	}
+}
+
+func TestWiredPorts(t *testing.T) {
+	tp := Cluster8()
+	for xi := 0; xi < tp.Crossbars(); xi++ {
+		wired := tp.WiredPorts(xi)
+		if len(wired) != 8 {
+			t.Fatalf("crossbar %d: %d wired ports, want 8", xi, len(wired))
+		}
+		for i, p := range wired {
+			if p != i {
+				t.Errorf("crossbar %d wired ports = %v, want 0..7 ascending", xi, wired)
+				break
+			}
+		}
+		if free := tp.FreePorts(xi); free != 8 {
+			t.Errorf("crossbar %d: %d free ports, want 8", xi, free)
+		}
+	}
+}

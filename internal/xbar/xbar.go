@@ -38,6 +38,7 @@ type Crossbar struct {
 	outputs [Ports]sim.Resource // circuit occupancy per output channel
 	opened  int64
 	blocked int64 // connections that waited on a busy output
+	stuck   int64 // injected stuck-busy fault windows (internal/fault)
 }
 
 // New builds a crossbar.
@@ -110,14 +111,37 @@ func (x *Crossbar) HoldOutput(requested, start, until sim.Time, out int) {
 	x.opened++
 }
 
+// StickOutput injects a stuck-busy fault: output channel out is forced
+// busy for the window [from, until), as if a failed arbiter never released
+// the crosspoint. Circuits requesting the channel inside the window wait
+// like any contender — the fault-aware send path (netsim.SendReliable)
+// gives up after its setup timeout and fails over to the other network
+// plane. Like every Resource acquisition, the window must be applied in
+// non-decreasing time order relative to traffic; the fault injector
+// guarantees this by applying events before each send they precede.
+func (x *Crossbar) StickOutput(out int, from, until sim.Time) {
+	if out < 0 || out >= Ports {
+		panic(fmt.Sprintf("xbar %s: output %d out of range", x.name, out))
+	}
+	if until <= from {
+		return
+	}
+	x.outputs[out].Acquire(from, until-from)
+	x.stuck++
+}
+
 // Stats reports connection counts.
 type Stats struct {
 	Opened  int64
 	Blocked int64
+	// Stuck counts injected stuck-busy fault windows.
+	Stuck int64
 }
 
 // Stats returns accumulated counters.
-func (x *Crossbar) Stats() Stats { return Stats{Opened: x.opened, Blocked: x.blocked} }
+func (x *Crossbar) Stats() Stats {
+	return Stats{Opened: x.opened, Blocked: x.blocked, Stuck: x.stuck}
+}
 
 // OutputBusy reports the accumulated busy time of one output channel.
 func (x *Crossbar) OutputBusy(out int) sim.Time { return x.outputs[out].Busy() }
@@ -127,5 +151,5 @@ func (x *Crossbar) Reset() {
 	for i := range x.outputs {
 		x.outputs[i].Reset()
 	}
-	x.opened, x.blocked = 0, 0
+	x.opened, x.blocked, x.stuck = 0, 0, 0
 }
