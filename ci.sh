@@ -37,14 +37,17 @@ for d in cmd/*/; do
     go build -o "$bindir/$(basename "$d")" "./$d"
 done
 
-echo "== pmfault smoke campaign =="
-# Fixed seed; stdout must match the checked-in golden byte for byte (the
-# campaign half of the determinism contract).
-"$bindir/pmfault" --campaign link-cut --seed 1 > "$bindir/pmfault.out"
-if ! cmp -s testdata/pmfault_link-cut_seed1.golden "$bindir/pmfault.out"; then
-    echo "pmfault smoke output diverged from testdata/pmfault_link-cut_seed1.golden:" >&2
-    diff testdata/pmfault_link-cut_seed1.golden "$bindir/pmfault.out" >&2 || true
-    exit 1
-fi
+echo "== pmfault smoke campaigns =="
+# Fixed seeds; stdout must match the checked-in goldens byte for byte
+# (the campaign half of the determinism contract). One synthetic
+# campaign, one application campaign over the transport layer.
+for campaign in link-cut heat-linkcut; do
+    "$bindir/pmfault" --campaign "$campaign" --seed 1 > "$bindir/pmfault.out"
+    if ! cmp -s "testdata/pmfault_${campaign}_seed1.golden" "$bindir/pmfault.out"; then
+        echo "pmfault smoke output diverged from testdata/pmfault_${campaign}_seed1.golden:" >&2
+        diff "testdata/pmfault_${campaign}_seed1.golden" "$bindir/pmfault.out" >&2 || true
+        exit 1
+    fi
+done
 
 echo "ci: all checks passed"

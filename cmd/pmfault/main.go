@@ -5,15 +5,22 @@
 // answers "what does the machine do when a link dies?" — the question
 // the paper's duplicated communication system (Section 4) exists for.
 //
+// Besides the synthetic-traffic campaigns it runs application campaigns
+// (heat-linkcut, allreduce-linkcut): a real workload over the
+// message-passing layer while plane-A uplinks die, reporting makespan
+// inflation with failover traffic contending against the plane-B OS
+// stream.
+//
 // Usage:
 //
 //	pmfault --campaign link-cut --seed 1
+//	pmfault --campaign heat-linkcut --seed 1
 //	pmfault --campaign mixed --topo system256 --messages 800
 //	pmfault --list
 //
 // stdout is a pure function of the flags: two runs with identical flags
-// are byte-identical. CI pins `--campaign link-cut --seed 1` against a
-// golden table in testdata/.
+// are byte-identical. CI pins `--campaign link-cut --seed 1` and
+// `--campaign heat-linkcut --seed 1` against golden tables in testdata/.
 package main
 
 import (
@@ -40,16 +47,14 @@ func main() {
 
 	if *listOnly {
 		for _, c := range fault.Campaigns() {
-			fmt.Printf("%-12s  %s\n", c.Name, c.Description)
+			fmt.Printf("%-18s  %s\n", c.Name, c.Description)
+		}
+		for _, c := range fault.AppCampaigns() {
+			fmt.Printf("%-18s  %s\n", c.Name, c.Description)
 		}
 		return
 	}
 
-	c, ok := fault.CampaignByName(*campaignFlag)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pmfault: unknown campaign %q (try --list)\n", *campaignFlag)
-		os.Exit(1)
-	}
 	var t *topo.Topology
 	switch *topoFlag {
 	case "cluster8":
@@ -60,17 +65,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmfault: unknown topology %q\n", *topoFlag)
 		os.Exit(1)
 	}
-
-	res, err := fault.Run(c, fault.Options{
+	opt := fault.Options{
 		Seed:         *seed,
 		Topology:     t,
 		Messages:     *messages,
 		PayloadBytes: *payload,
 		Window:       sim.Time(*windowUS) * sim.Microsecond,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pmfault: %v\n", err)
-		os.Exit(1)
 	}
-	fmt.Print(res.Render())
+
+	if c, ok := fault.CampaignByName(*campaignFlag); ok {
+		res, err := fault.Run(c, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmfault: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		return
+	}
+	if c, ok := fault.AppCampaignByName(*campaignFlag); ok {
+		res, err := fault.RunApp(c, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmfault: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pmfault: unknown campaign %q (try --list)\n", *campaignFlag)
+	os.Exit(1)
 }

@@ -73,6 +73,7 @@ func main() {
 	fmt.Printf("route bytes in header: %v\n", path.RouteBytes)
 
 	net := powermanna.NewNetwork(t)
+	//pmlint:allow layering pmtopo prints raw single-message transit timing along an explicit path
 	tr, err := net.Send(0, path, *bytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

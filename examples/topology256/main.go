@@ -40,6 +40,7 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		//pmlint:allow layering example demonstrates raw wormhole transit, not the reliability protocol
 		tr, err := net.Send(0, p, 4096)
 		if err != nil {
 			panic(err)

@@ -12,6 +12,8 @@
 //   - cycleaccount: magic integer literals added to cycle/latency values
 //   - errcheck: silently discarded error returns
 //   - docexport: undocumented exported identifiers in internal packages
+//   - layering: direct netsim.Network.Send calls outside internal/netsim
+//     (every layer sends through the fault-aware Transport)
 //
 // A diagnostic can be suppressed with a directive on the same line or the
 // line directly above:
@@ -60,6 +62,7 @@ func All() []Analyzer {
 		CycleAccount{},
 		ErrCheck{},
 		DocExport{},
+		Layering{},
 	}
 }
 

@@ -24,6 +24,7 @@ var fixtureCases = []struct {
 	{"doc", "internal/doc"},
 	{"allow", "internal/allow"},
 	{"scope", "cmd/scope"},
+	{"layering", "internal/layering"},
 }
 
 // TestFixtures checks every analyzer against the fixture packages: each
@@ -176,7 +177,7 @@ func TestRepositoryIsClean(t *testing.T) {
 
 // TestSuiteNames pins the analyzer names the allow directive refers to.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"determinism", "cycleaccount", "errcheck", "docexport"}
+	want := []string{"determinism", "cycleaccount", "errcheck", "docexport", "layering"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,32 @@
+// Package layering exercises the layering analyzer.
+package layering
+
+import (
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// Network is a local type whose Send must not be confused with netsim's.
+type Network struct{}
+
+// Send is a decoy method on the local Network.
+func (Network) Send(n int) int { return n }
+
+func direct(n *netsim.Network, path topo.Path) {
+	_, _ = n.Send(0, path, 64) // want `direct netsim.Network.Send call outside internal/netsim`
+}
+
+func allowed(n *netsim.Network, path topo.Path) {
+	//pmlint:allow layering raw-datapath experiment measures the wormhole itself
+	_, _ = n.Send(0, path, 64)
+}
+
+func throughTransport(n *netsim.Network, at sim.Time) {
+	tp := n.MustTransport(0, netsim.DefaultFailover())
+	_, _ = tp.Send(at, 1, 64) // the sanctioned datapath
+}
+
+func decoy(local Network) int {
+	return local.Send(3) // same method name, unrelated type: allowed
+}

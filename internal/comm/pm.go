@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"powermanna/internal/link"
 	"powermanna/internal/netsim"
 	"powermanna/internal/ni"
 	"powermanna/internal/sim"
@@ -66,20 +67,31 @@ func DefaultPMParams() PMParams {
 }
 
 // PMSystem is the measured PowerMANNA pair: two nodes of a Figure 5a
-// cluster communicating through one crossbar.
+// cluster communicating through one crossbar. Sends go through a
+// fault-aware netsim.Transport, so the measured pair runs the same
+// datapath the fault campaigns exercise; path is kept alongside for the
+// wire-byte arithmetic of the gap model.
 type PMSystem struct {
 	params PMParams
 	net    *netsim.Network
+	tp     *netsim.Transport
 	path   topo.Path
 }
 
 // NewPowerMANNA builds the measured configuration (nodes 0 and 1 of an
-// eight-node cluster, network plane A).
+// eight-node cluster, network plane A preferred).
 func NewPowerMANNA() *PMSystem { return NewPowerMANNAWith(DefaultPMParams()) }
 
 // NewPowerMANNAWith builds a PowerMANNA pair with explicit parameters
-// (used by the FIFO-size and dual-link ablations).
+// (used by the FIFO-size and dual-link ablations) and the default
+// failover protocol.
 func NewPowerMANNAWith(p PMParams) *PMSystem {
+	return NewPowerMANNAFailover(p, netsim.DefaultFailover())
+}
+
+// NewPowerMANNAFailover builds a PowerMANNA pair whose transport runs
+// the given failover configuration.
+func NewPowerMANNAFailover(p PMParams, cfg netsim.FailoverConfig) *PMSystem {
 	if p.Links < 1 {
 		p.Links = 1
 	}
@@ -88,7 +100,7 @@ func NewPowerMANNAWith(p PMParams) *PMSystem {
 	if err != nil {
 		panic(err)
 	}
-	return &PMSystem{params: p, net: net, path: path}
+	return &PMSystem{params: p, net: net, tp: net.MustTransport(0, cfg), path: path}
 }
 
 // Name implements System.
@@ -114,11 +126,11 @@ func (s *PMSystem) OneWayLatency(n int) sim.Time {
 	s.net.Reset()
 	t := s.cycles(s.params.SendSetupCycles)
 	t += s.params.PIOWriteLine // first line enters the send FIFO
-	tr, err := s.net.Send(t, s.path, n)
-	if err != nil {
+	d, err := s.tp.Send(t, 1, n)
+	if err != nil || d.Failed {
 		panic(err)
 	}
-	t = tr.LastByte
+	t = d.Done
 	t += s.cycles(s.params.PollCycles) / 2 // average poll residual
 	t += s.params.PIOReadLine              // drain the final line
 	t += s.cycles(s.params.RecvReturnCycles)
@@ -137,11 +149,11 @@ func (s *PMSystem) LatencyBreakdown(n int) []Stage {
 	t := s.cycles(s.params.SendSetupCycles)
 	add("user-level send (PIO setup)", t)
 	add("first line into send FIFO", s.params.PIOWriteLine)
-	tr, err := s.net.Send(t+s.params.PIOWriteLine, s.path, n)
-	if err != nil {
+	d, err := s.tp.Send(t+s.params.PIOWriteLine, 1, n)
+	if err != nil || d.Failed {
 		panic(err)
 	}
-	add("route setup + wire (cut-through)", tr.LastByte-(t+s.params.PIOWriteLine))
+	add("route setup + wire (cut-through)", d.Done-(t+s.params.PIOWriteLine))
 	add("receiver poll residual", s.cycles(s.params.PollCycles)/2)
 	add("drain final line", s.params.PIOReadLine)
 	add("user-level receive return", s.cycles(s.params.RecvReturnCycles))
@@ -161,7 +173,7 @@ func (s *PMSystem) Gap(n int) sim.Time {
 	nLines := sim.Time(lines(n))
 	sender := s.cycles(s.params.GapSendCycles) + nLines*s.params.PIOWriteLine
 	wireBytes := ni.WireBytes(len(s.path.RouteBytes), n)
-	wire := sim.Time(wireBytes) * sim.Time(16667) / sim.Time(s.params.Links) // 60 MB/s per link
+	wire := sim.Time(wireBytes) * link.BytePeriod / sim.Time(s.params.Links) // 60 MB/s per link
 	recv := s.cycles(s.params.GapRecvCycles+s.params.PollCycles) + nLines*s.params.PIOReadLine
 	return sim.Max(sender, sim.Max(wire, recv))
 }

@@ -75,13 +75,16 @@ type SlotRef struct {
 }
 
 // System is one EARTH machine: a set of nodes over a simulated
-// interconnect.
+// interconnect. Control tokens travel through per-node fault-aware
+// transports, so split-phase operations survive a faulted plane A by
+// failing over to plane B like every other software layer.
 type System struct {
 	params Params
 	sched  *sim.Scheduler
 	net    *netsim.Network
 	topo   *topo.Topology
 	nodes  []*nodeState
+	tps    []*netsim.Transport
 	procs  []Proc
 
 	fibersRun int64
@@ -111,8 +114,15 @@ type nodeState struct {
 	nextBuf uint64
 }
 
-// New builds an EARTH system over a topology.
+// New builds an EARTH system over a topology with the default failover
+// protocol.
 func New(t *topo.Topology, p Params) *System {
+	return NewWithFailover(t, p, netsim.DefaultFailover())
+}
+
+// NewWithFailover builds an EARTH system whose per-node transports run
+// the given failover configuration.
+func NewWithFailover(t *topo.Topology, p Params, cfg netsim.FailoverConfig) *System {
 	s := &System{
 		params: p,
 		sched:  sim.NewScheduler(),
@@ -129,9 +139,14 @@ func New(t *topo.Topology, p Params) *System {
 			// never collide with program addresses.
 			nextBuf: 1 << 40,
 		})
+		s.tps = append(s.tps, s.net.MustTransport(i, cfg))
 	}
 	return s
 }
+
+// Network exposes the underlying interconnect — for fault injection and
+// degraded-mode counters; tokens travel through the per-node transports.
+func (s *System) Network() *netsim.Network { return s.net }
 
 // Register adds a threaded procedure and returns its ID. All procedures
 // must be registered before Run.
@@ -264,15 +279,16 @@ func (s *System) post(src, dst int, tk token, t sim.Time) {
 		return
 	}
 	s.remote++
-	path, err := s.topo.Route(src, dst, topo.NetworkA)
+	d, err := s.tps[src].Send(t, dst, s.params.CtrlBytes)
 	if err != nil {
 		panic(fmt.Sprintf("earth: %v", err))
 	}
-	tr, err := s.net.Send(t, path, s.params.CtrlBytes)
-	if err != nil {
-		panic(fmt.Sprintf("earth: %v", err))
+	if d.Failed {
+		// A lost token would deadlock the sync-slot graph; the runtime
+		// treats both planes dead as fatal, like the real machine would.
+		panic(fmt.Sprintf("earth: token %d->%d lost on both planes", src, dst))
 	}
-	s.sched.At(tr.LastByte, func() { s.suService(dst, tk, s.sched.Now()) })
+	s.sched.At(d.Done, func() { s.suService(dst, tk, s.sched.Now()) })
 }
 
 // suService processes a token on the destination node's SU.

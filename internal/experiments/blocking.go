@@ -57,6 +57,7 @@ func BlockingBehavior(opt Options) Result {
 				if len(path.Hops) > maxHops {
 					maxHops = len(path.Hops)
 				}
+				//pmlint:allow layering blocking experiment measures the raw wormhole datapath, failover costs would pollute it
 				tr, err := net.Send(0, path, payload)
 				if err != nil {
 					panic(err)

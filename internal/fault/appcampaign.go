@@ -1,0 +1,282 @@
+// Application fault campaigns: real workloads over the message-passing
+// layer while the interconnect degrades underneath them.
+//
+// The synthetic campaigns (campaign.go) measure the failover protocol on
+// a generated message stream; these campaigns answer the system-level
+// question the paper's duplicated network poses: what happens to an
+// actual application — the heat solver's halo exchanges, a collective's
+// butterfly — when plane-A uplinks die mid-run? The workload runs
+// unmodified over internal/mpl, whose per-rank transports carry every
+// message; severed plane-A wires push traffic onto plane B, where it
+// contends with the background operating-system stream (netsim's OS
+// stream, attached for every app campaign per Section 4's software
+// separation). The table reports makespan inflation instead of
+// per-message latency, because for an application that is the number
+// that matters.
+//
+// App campaigns inject only LinkCut faults, applied to the network up
+// front: a cut wire's state is parameterized by time (dead from At
+// onward), so applying it early changes nothing — unlike XbarStuck,
+// which acquires resource timelines and must be applied in simulated
+// order. That keeps the injection sound even though the workload's send
+// times are not known in advance. Fault times are drawn from the first
+// half of the fault-free makespan, so post-fault traffic exists to feel
+// the degradation; the rate-0 row therefore always runs first.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"powermanna/internal/heat"
+	"powermanna/internal/mpl"
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+	"powermanna/internal/topo"
+)
+
+// Workload shapes for the app campaigns: small enough to sweep quickly,
+// large enough that every rank sends on every step.
+const (
+	// heatCellsPerRank sizes the heat solver's domain per rank.
+	heatCellsPerRank = 24
+	// heatSteps is the heat solver's step count (crosses one residual
+	// reduction at the default ReduceEvery of 50).
+	heatSteps = 60
+	// allreduceRounds is the collective campaign's round count.
+	allreduceRounds = 30
+)
+
+// AppCampaign is a named application-level fault experiment: a workload
+// over the message-passing layer and a sweep of plane-A link-cut counts.
+type AppCampaign struct {
+	// Name is the CLI key (pmfault --campaign <name>).
+	Name string
+	// Description says what the campaign demonstrates.
+	Description string
+	// Rates is the fault-count sweep; the leading 0 row sizes the fault
+	// window and the inflation baseline.
+	Rates []int
+	// Workload runs the application over a fresh world and returns its
+	// makespan. It must also verify the computation's result — a fault
+	// campaign that silently returns wrong numbers proves nothing.
+	Workload func(w *mpl.World) (sim.Time, error)
+}
+
+// AppCampaigns lists the application campaigns in CLI order.
+func AppCampaigns() []AppCampaign {
+	return []AppCampaign{
+		{
+			Name:        "heat-linkcut",
+			Description: "run the 1D heat solver while plane-A uplinks die; halo traffic fails over onto the OS-loaded plane B",
+			Rates:       []int{0, 1, 2, 4},
+			Workload:    heatWorkload,
+		},
+		{
+			Name:        "allreduce-linkcut",
+			Description: "sweep AllReduce rounds while plane-A uplinks die; the butterfly's edges fail over onto the OS-loaded plane B",
+			Rates:       []int{0, 1, 2, 4},
+			Workload:    allreduceWorkload,
+		},
+	}
+}
+
+// AppCampaignByName finds an application campaign by its CLI key.
+func AppCampaignByName(name string) (AppCampaign, bool) {
+	for _, c := range AppCampaigns() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return AppCampaign{}, false
+}
+
+// heatWorkload solves the 1D heat equation across all ranks and checks
+// the field bit-identically against the serial reference — delivery over
+// a degraded network must not change the arithmetic.
+func heatWorkload(w *mpl.World) (sim.Time, error) {
+	cfg := heat.DefaultConfig(heatCellsPerRank*w.Ranks(), heatSteps)
+	res, err := heat.Run(w, cfg)
+	if err != nil {
+		return 0, err
+	}
+	want, err := heat.RunSerial(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for i := range want {
+		if res.Field[i] != want[i] {
+			return 0, fmt.Errorf("fault: heat field diverges from serial at cell %d", i)
+		}
+	}
+	return res.Makespan, nil
+}
+
+// allreduceWorkload sweeps AllReduce rounds with per-rank contributions
+// whose global sums are known in closed form, verifying each round.
+func allreduceWorkload(w *mpl.World) (sim.Time, error) {
+	p := w.Ranks()
+	wantA := float64(p) * float64(p+1) / 2
+	for round := 0; round < allreduceRounds; round++ {
+		contrib := make([][]float64, p)
+		for r := 0; r < p; r++ {
+			contrib[r] = []float64{float64(r + 1), float64(round) * float64(r+1)}
+		}
+		got, err := w.AllReduce(contrib, round)
+		if err != nil {
+			return 0, err
+		}
+		wantB := float64(round) * wantA
+		if len(got) != 2 || got[0] != wantA || got[1] != wantB {
+			return 0, fmt.Errorf("fault: allreduce round %d = %v, want [%v %v]", round, got, wantA, wantB)
+		}
+	}
+	return w.MaxTime(), nil
+}
+
+// AppRow is one line of the application degradation table.
+type AppRow struct {
+	// Faults is the injected plane-A link-cut count.
+	Faults int
+	// Makespan is the workload's completion time under those faults.
+	Makespan sim.Time
+	// Inflation is Makespan over the fault-free row's makespan.
+	Inflation float64
+	// FailedOver counts plane-A attempts abandoned to plane B.
+	FailedOver int64
+	// Skipped counts plane attempts short-circuited by the senders'
+	// plane-down caches — the cached-fast-path replacing full detection
+	// windows after the first failure.
+	Skipped int64
+	// OSMessages counts background OS-stream messages the application's
+	// failover traffic contended with on plane B.
+	OSMessages int64
+}
+
+// AppResult is one application campaign's full outcome.
+type AppResult struct {
+	// Campaign is the spec that ran.
+	Campaign AppCampaign
+	// Options are the resolved run parameters (only Seed and Topology
+	// apply to app campaigns; traffic shape comes from the workload).
+	Options Options
+	// Rows is the degradation table, one row per Rates entry.
+	Rows []AppRow
+	// Schedule is the highest-rate row's fault schedule, sorted by time.
+	Schedule []Event
+	// PlaneA and PlaneB are the highest-rate row's degraded-mode
+	// counters.
+	PlaneA, PlaneB stats.CounterSet
+}
+
+// RunApp executes the application campaign: for each fault count it
+// builds a fresh world with per-rank transports and the plane-B OS
+// stream, applies a seeded plane-A link-cut schedule up front, runs the
+// workload, and collects a makespan row. Deterministic: same spec and
+// options, byte-identical AppResult.
+func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
+	opt = opt.resolved()
+	if len(c.Rates) == 0 || c.Rates[0] != 0 {
+		return nil, fmt.Errorf("fault: app campaign %q must lead with a 0 rate (it sizes the fault window)", c.Name)
+	}
+	res := &AppResult{Campaign: c, Options: opt}
+	var baseline sim.Time
+	for _, rate := range c.Rates {
+		w := mpl.NewWorldWith(opt.Topology, netsim.DefaultFailover())
+		net := w.Network()
+		net.AttachOSStream(netsim.DefaultOSStream())
+		var events []Event
+		if rate > 0 {
+			rng := rand.New(rand.NewSource(opt.Seed + faultSeedStride*int64(rate)))
+			span := int64(baseline / faultSpanDiv)
+			if span < 1 {
+				span = 1
+			}
+			for i := 0; i < rate; i++ {
+				events = append(events, Event{
+					Kind:  LinkCut,
+					At:    sim.Time(rng.Int63n(span)),
+					Plane: topo.NetworkA,
+					Node:  rng.Intn(opt.Topology.Nodes()),
+				})
+			}
+		}
+		inj := NewInjector(net, events)
+		// Apply the whole schedule before the run: sound for LinkCut
+		// (see the package comment), and the only option when the
+		// workload, not the campaign, decides the send times.
+		var last sim.Time
+		for _, e := range inj.Events() {
+			last = e.At
+		}
+		inj.ApplyUntil(last)
+		makespan, err := c.Workload(w)
+		if err != nil {
+			return nil, fmt.Errorf("fault: app campaign %q at rate %d: %w", c.Name, rate, err)
+		}
+		if rate == 0 {
+			baseline = makespan
+		}
+		pa, pb := net.Plane(topo.NetworkA), net.Plane(topo.NetworkB)
+		row := AppRow{
+			Faults:     rate,
+			Makespan:   makespan,
+			Inflation:  1,
+			FailedOver: pa.FailedOver + pb.FailedOver,
+			Skipped:    pa.SkippedDown + pb.SkippedDown,
+			OSMessages: pb.OSMessages,
+		}
+		if rate > 0 && baseline > 0 {
+			row.Inflation = float64(makespan) / float64(baseline)
+		}
+		res.Rows = append(res.Rows, row)
+		// The sweep's last (highest-rate) run provides the detailed view.
+		res.Schedule = inj.Events()
+		res.PlaneA = net.PlaneCounterSet(topo.NetworkA)
+		res.PlaneB = net.PlaneCounterSet(topo.NetworkB)
+	}
+	return res, nil
+}
+
+// Table renders the application degradation table.
+func (r *AppResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("degradation — %s", r.Campaign.Name),
+		Columns: []string{"faults", "makespan-us", "inflation", "failed-over", "skipped", "os-msgs"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Faults),
+			fmt.Sprintf("%.3f", row.Makespan.Seconds()*1e6),
+			fmt.Sprintf("%.3f", row.Inflation),
+			fmt.Sprintf("%d", row.FailedOver),
+			fmt.Sprintf("%d", row.Skipped),
+			fmt.Sprintf("%d", row.OSMessages),
+		)
+	}
+	return t
+}
+
+// Render produces the campaign's full deterministic text block: header,
+// makespan table, the highest-rate fault schedule, and per-plane
+// degraded-mode counters.
+func (r *AppResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### campaign %s — %s\n", r.Campaign.Name, r.Campaign.Description)
+	fmt.Fprintf(&b, "topology %s, seed %d, application workload with plane-B OS stream\n\n",
+		r.Options.Topology.Name(), r.Options.Seed)
+	b.WriteString(r.Table().Render())
+	fmt.Fprintf(&b, "\nfault schedule at %d faults:\n", r.Rows[len(r.Rows)-1].Faults)
+	if len(r.Schedule) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, e := range r.Schedule {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	b.WriteByte('\n')
+	b.WriteString(r.PlaneA.Render())
+	b.WriteString(r.PlaneB.Render())
+	return b.String()
+}

@@ -145,6 +145,10 @@ type Row struct {
 	// Delivered, Retried and Failed partition the messages: Retried ⊆
 	// Delivered arrived via plane-B failover; Failed found no plane.
 	Delivered, Retried, Failed int
+	// Skipped counts plane attempts short-circuited by the senders'
+	// plane-down caches — each one traded a full detection window for a
+	// cached status check.
+	Skipped int
 	// MeanLatency averages sender-observed latency over delivered
 	// messages, detection and retry costs included.
 	MeanLatency sim.Time
@@ -241,9 +245,10 @@ func schedule(c Campaign, t *topo.Topology, count int, window sim.Time, rng *ran
 // Run executes the campaign: for each fault count in the sweep it builds
 // a fresh network over the topology, generates the (rate-independent)
 // traffic and a (rate-dependent) fault schedule from the seed, posts
-// every message through the failover protocol with faults applied in
-// time order, and collects a degradation row. Deterministic: same spec
-// and options, byte-identical Result.
+// every message through a per-source Transport (failover protocol plus
+// plane-down cache) with faults applied in time order, and collects a
+// degradation row. Deterministic: same spec and options, byte-identical
+// Result.
 func Run(c Campaign, opt Options) (*Result, error) {
 	opt = opt.resolved()
 	if len(c.Rates) == 0 || len(c.Kinds) == 0 {
@@ -253,6 +258,10 @@ func Run(c Campaign, opt Options) (*Result, error) {
 	cfg := netsim.DefaultFailover()
 	for _, rate := range c.Rates {
 		net := netsim.New(opt.Topology)
+		tps := make([]*netsim.Transport, opt.Topology.Nodes())
+		for i := range tps {
+			tps[i] = net.MustTransport(i, cfg)
+		}
 		msgs := traffic(opt.Topology, opt, rand.New(rand.NewSource(opt.Seed)))
 		events := schedule(c, opt.Topology, rate,
 			opt.Window, rand.New(rand.NewSource(opt.Seed+faultSeedStride*int64(rate))))
@@ -261,10 +270,11 @@ func Run(c Campaign, opt Options) (*Result, error) {
 		var latSum sim.Time
 		for _, m := range msgs {
 			inj.ApplyUntil(m.at)
-			d, err := net.SendReliable(m.at, m.src, m.dst, opt.PayloadBytes, cfg)
+			d, err := tps[m.src].Send(m.at, m.dst, opt.PayloadBytes)
 			if err != nil {
 				return nil, fmt.Errorf("fault: campaign %q: %w", c.Name, err)
 			}
+			row.Skipped += d.SkippedDown
 			switch {
 			case d.Failed:
 				row.Failed++
@@ -307,13 +317,14 @@ func (r *Result) baseline() sim.Time {
 func (r *Result) Table() *stats.Table {
 	t := &stats.Table{
 		Title:   fmt.Sprintf("degradation — %s", r.Campaign.Name),
-		Columns: []string{"faults", "delivered", "retried", "failed", "mean-lat-us", "inflation"},
+		Columns: []string{"faults", "delivered", "retried", "skipped", "failed", "mean-lat-us", "inflation"},
 	}
 	for _, row := range r.Rows {
 		t.AddRow(
 			fmt.Sprintf("%d", row.Faults),
 			fmt.Sprintf("%d", row.Delivered),
 			fmt.Sprintf("%d", row.Retried),
+			fmt.Sprintf("%d", row.Skipped),
 			fmt.Sprintf("%d", row.Failed),
 			fmt.Sprintf("%.3f", row.MeanLatency.Seconds()*1e6),
 			fmt.Sprintf("%.3f", row.Inflation),

@@ -116,6 +116,114 @@ func TestLatencyInflationMonotoneForLinkCut(t *testing.T) {
 	}
 }
 
+// TestAppCampaignDeterminism extends the campaign determinism contract
+// to the application campaigns: same seed, byte-identical render;
+// different seed, different fault schedule.
+func TestAppCampaignDeterminism(t *testing.T) {
+	for _, c := range AppCampaigns() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			a, err := RunApp(c, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunApp(c, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() != b.Render() {
+				t.Fatal("same seed rendered differently")
+			}
+			d, err := RunApp(c, Options{Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() == d.Render() {
+				t.Fatal("seeds 1 and 2 rendered identically")
+			}
+		})
+	}
+}
+
+// TestAppCampaignDegradation checks the shape the app campaigns exist to
+// show: a clean baseline, growing makespan inflation under faults, the
+// plane-down caches short-circuiting most of the failover overhead, and
+// plane-B contention with the OS stream actually present.
+func TestAppCampaignDegradation(t *testing.T) {
+	for _, c := range AppCampaigns() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			r, err := RunApp(c, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := r.Rows[0]
+			if base.Faults != 0 || base.Inflation != 1 || base.FailedOver != 0 || base.Skipped != 0 {
+				t.Errorf("baseline row = %+v, want fault-free", base)
+			}
+			last := r.Rows[len(r.Rows)-1]
+			if last.Inflation <= 1 {
+				t.Errorf("highest rate inflation = %.3f, want > 1", last.Inflation)
+			}
+			for i, row := range r.Rows {
+				if row.Inflation < 1 {
+					t.Errorf("row %d inflation = %.3f, below baseline", i, row.Inflation)
+				}
+				if row.Faults > 0 && row.FailedOver == 0 {
+					t.Errorf("row %d: faults injected but nothing failed over", i)
+				}
+				if row.OSMessages == 0 {
+					t.Errorf("row %d: OS stream injected nothing", i)
+				}
+			}
+			// The cache is what bends the curve: after the first detection
+			// per (sender, plane), messages skip the dead plane at the
+			// cached status-check cost, so cached skips must far outnumber
+			// full detection windows.
+			if last.Skipped <= last.FailedOver {
+				t.Errorf("skipped %d vs failed-over %d: plane-down cache not carrying the load",
+					last.Skipped, last.FailedOver)
+			}
+		})
+	}
+}
+
+// TestAppCampaignGolden pins heat-linkcut at seed 1 against the golden
+// ci.sh compares cmd/pmfault stdout to.
+func TestAppCampaignGolden(t *testing.T) {
+	golden := filepath.Join("..", "..", "testdata", "pmfault_heat-linkcut_seed1.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with: go run ./cmd/pmfault --campaign heat-linkcut --seed 1 > %s)", err, golden)
+	}
+	c, _ := AppCampaignByName("heat-linkcut")
+	r, err := RunApp(c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Render(); got != string(want) {
+		t.Errorf("campaign output diverged from %s;\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestAppCampaignValidation pins the rate-0-first requirement and name
+// resolution.
+func TestAppCampaignValidation(t *testing.T) {
+	bad := AppCampaign{Name: "bad", Rates: []int{1}, Workload: allreduceWorkload}
+	if _, err := RunApp(bad, Options{Seed: 1}); err == nil {
+		t.Error("campaign without a leading 0 rate accepted")
+	}
+	if _, ok := AppCampaignByName("no-such-campaign"); ok {
+		t.Error("unknown app campaign resolved")
+	}
+	for _, c := range AppCampaigns() {
+		got, ok := AppCampaignByName(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Errorf("AppCampaignByName(%q) failed", c.Name)
+		}
+	}
+}
+
 func TestInjectorAppliesInTimeOrder(t *testing.T) {
 	net := netsim.New(topo.Cluster8())
 	events := []Event{

@@ -49,6 +49,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// BytePeriod is the wire occupancy of one byte at the 60 Mbyte/s link
+// rate: the 60 MHz link clock moves one byte per cycle (Section 3.2), so
+// a byte holds the wire for 16667 ps. Sender-occupancy and gap models
+// that reason about the link draining at line rate share this constant
+// instead of re-deriving the magic number.
+const BytePeriod = 16667 * sim.Picosecond
+
 // Default returns the PowerMANNA link: 60 MHz, byte-parallel, one cycle
 // of synchronizer delay.
 func Default(name string) Config {

@@ -12,15 +12,20 @@
 // vectors, and the tests verify both the arithmetic and the timing
 // invariants (causality, determinism, logarithmic collective depth).
 //
-// Per Section 4's first implementation, user traffic runs on one network
+// Per Section 4's first implementation, user traffic prefers one network
 // plane of the duplicated system (plane A), leaving plane B to the
-// operating system.
+// operating system. Every send goes through a per-rank netsim.Transport,
+// so the layer inherits the driver-level failover protocol: on a faulted
+// plane A the message retries over plane B (contending with any attached
+// OS stream) instead of silently vanishing, and the transport's route
+// cache amortises the per-message route lookup.
 package mpl
 
 import (
 	"fmt"
 
 	"powermanna/internal/comm"
+	"powermanna/internal/link"
 	"powermanna/internal/netsim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
@@ -32,6 +37,8 @@ type World struct {
 	net    *netsim.Network
 	params comm.PMParams
 	clocks []sim.Time
+	// tps holds each rank's fault-aware transport — the only send path.
+	tps []*netsim.Transport
 	// pending holds in-flight messages per destination rank, in arrival
 	// order of posting (FIFO matching within a (src, tag) pair).
 	pending [][]message
@@ -46,15 +53,33 @@ type message struct {
 	firstByte sim.Time
 }
 
-// NewWorld builds a world over a topology, one rank per node.
+// NewWorld builds a world over a topology, one rank per node, with the
+// default failover protocol.
 func NewWorld(t *topo.Topology) *World {
-	return &World{
+	return NewWorldWith(t, netsim.DefaultFailover())
+}
+
+// NewWorldWith builds a world whose per-rank transports run the given
+// failover configuration — the knob fault campaigns turn to compare,
+// say, cached against cacheless plane-down detection.
+func NewWorldWith(t *topo.Topology, cfg netsim.FailoverConfig) *World {
+	w := &World{
 		net:     netsim.New(t),
 		params:  comm.DefaultPMParams(),
 		clocks:  make([]sim.Time, t.Nodes()),
+		tps:     make([]*netsim.Transport, t.Nodes()),
 		pending: make([][]message, t.Nodes()),
 	}
+	for i := range w.tps {
+		w.tps[i] = w.net.MustTransport(i, cfg)
+	}
+	return w
 }
+
+// Network exposes the underlying network — for fault injection and the
+// degraded-mode counters, not for sending (sends go through the per-rank
+// transports).
+func (w *World) Network() *netsim.Network { return w.net }
 
 // Ranks reports the number of ranks.
 func (w *World) Ranks() int { return len(w.clocks) }
@@ -90,16 +115,15 @@ func (w *World) Send(src, dst, tag int, payload []byte) error {
 	if src == dst {
 		return fmt.Errorf("mpl: self-send from rank %d", src)
 	}
-	path, err := w.net.Topology().Route(src, dst, topo.NetworkA)
-	if err != nil {
-		return err
-	}
 	start := w.clocks[src] + w.cycles(w.params.SendSetupCycles)
 	// First line enters the FIFO before the head can leave.
 	start += w.params.PIOWriteLine
-	tr, err := w.net.Send(start, path, len(payload))
+	d, err := w.tps[src].Send(start, dst, len(payload))
 	if err != nil {
 		return err
+	}
+	if d.Failed {
+		return fmt.Errorf("mpl: message %d->%d lost on both planes", src, dst)
 	}
 	// Sender occupancy: for messages beyond the FIFO, the CPU feeds lines
 	// as the link drains them; the link is slower than PIO, so the CPU is
@@ -108,9 +132,8 @@ func (w *World) Send(src, dst, tag int, payload []byte) error {
 	senderDone := start
 	if tail > 0 {
 		// CPU must stay until all but one FIFO's worth has left the node
-		// (the last FIFO fill drains without it; 16667 ps/byte is the
-		// 60 MB/s link rate).
-		senderDone = tr.LastByte - sim.Time(w.params.FIFOBytes)*16667
+		// (the last FIFO fill drains at the 60 MB/s link rate without it).
+		senderDone = d.Done - sim.Time(w.params.FIFOBytes)*link.BytePeriod
 		if senderDone < start {
 			senderDone = start
 		}
@@ -124,7 +147,7 @@ func (w *World) Send(src, dst, tag int, payload []byte) error {
 	copy(cp, payload)
 	w.pending[dst] = append(w.pending[dst], message{
 		src: src, tag: tag, payload: cp,
-		arrival: tr.LastByte, firstByte: tr.FirstByte,
+		arrival: d.Done, firstByte: d.Transit.FirstByte,
 	})
 	w.sends++
 	w.bytes += int64(len(payload))

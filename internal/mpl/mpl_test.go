@@ -255,6 +255,27 @@ func TestCollectiveErrorPaths(t *testing.T) {
 	}
 }
 
+// BenchmarkSendSystem256 measures the per-message host cost of the MPL
+// send path over the full 256-processor system. The per-rank Transports
+// cache each (dst, plane) route after the first lookup, so steady-state
+// sends do no route computation and no per-message path allocation.
+func BenchmarkSendSystem256(b *testing.B) {
+	w := NewWorld(topo.System256())
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % w.Ranks()
+		dst := (src + 61) % w.Ranks()
+		if err := w.Send(src, dst, i, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Recv(dst, src, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestBarrierRepeatedRounds(t *testing.T) {
 	w := NewWorld(topo.Cluster8())
 	for round := 0; round < 3; round++ {

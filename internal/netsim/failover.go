@@ -19,9 +19,12 @@
 //     forms) is detected at entry + AckTimeout.
 //   - a receiver whose CRC check fails returns a NACK, detected at
 //     LastByte + NackLatency — much sooner than the timeout.
-//   - either way the sender backs off RetryBackoff and retries once on
-//     the other plane. Two planes, two attempts; a message failing both
-//     is reported failed, never silently dropped.
+//   - either way the sender backs off RetryBackoff and retries on the
+//     other plane. Soft failures (timeouts, NACKs) allow re-cycling the
+//     planes up to MaxAttempts, since congestion and death look alike
+//     from the sender; a severed wire is hard evidence that rules its
+//     plane out. A message exhausting every option is reported failed,
+//     never silently dropped.
 //   - a send FIFO stalled beyond SetupTimeout is abandoned without ever
 //     entering the network — the driver polls the status register
 //     (Section 3.3) and can tell the interface is wedged.
@@ -54,6 +57,24 @@ const (
 	// attempt and re-posting on the other plane (status-register polls
 	// and send-FIFO refill, Section 3.3).
 	DefaultRetryBackoff = 500 * sim.Nanosecond
+	// DefaultReprobeInterval is how long a Transport's plane-down cache
+	// keeps routing around a plane that failed an attempt before risking
+	// a fresh probe — long enough that a steady message stream stops
+	// paying the ack timeout per message, short enough that a healed
+	// plane (a stall window ending, a stuck arbiter resetting) is picked
+	// back up within a campaign.
+	DefaultReprobeInterval = 200 * sim.Microsecond
+	// DefaultPlaneDownCheck is the cached-fast-path cost: the driver
+	// consulting its own plane-down state (a handful of loads and a
+	// branch, no uncached I/O) before skipping straight to the other
+	// plane.
+	DefaultPlaneDownCheck = 50 * sim.Nanosecond
+	// DefaultMaxAttempts bounds the real send attempts per message.
+	// Soft failures (setup timeout, NACK) are ambiguous between a dead
+	// plane and pathological congestion, so the driver re-cycles the
+	// planes a few times before declaring the message lost; hard
+	// evidence (a severed wire) rules a plane out immediately.
+	DefaultMaxAttempts = 6
 )
 
 // FailoverConfig calibrates the driver-level reliability protocol.
@@ -69,15 +90,31 @@ type FailoverConfig struct {
 	NackLatency sim.Time
 	// RetryBackoff is the pause between detection and the retry.
 	RetryBackoff sim.Time
+	// ReprobeInterval is how long a Transport's plane-down cache routes
+	// around a failed plane before the next real probe. Zero disables
+	// the cache (every send pays the full detection window again —
+	// the pre-Transport behaviour, and what Network.SendReliable does).
+	ReprobeInterval sim.Time
+	// PlaneDownCheck is the per-message cost of consulting the plane-
+	// down cache and skipping a known-dead plane.
+	PlaneDownCheck sim.Time
+	// MaxAttempts bounds real attempts per message across all planes;
+	// zero means one attempt per wired plane (no soft-failure retries).
+	// Planes with hard evidence of death (severed wire) are never
+	// retried within a send.
+	MaxAttempts int
 }
 
 // DefaultFailover returns the calibrated protocol constants.
 func DefaultFailover() FailoverConfig {
 	return FailoverConfig{
-		SetupTimeout: DefaultSetupTimeout,
-		AckTimeout:   DefaultAckTimeout,
-		NackLatency:  DefaultNackLatency,
-		RetryBackoff: DefaultRetryBackoff,
+		SetupTimeout:    DefaultSetupTimeout,
+		AckTimeout:      DefaultAckTimeout,
+		NackLatency:     DefaultNackLatency,
+		RetryBackoff:    DefaultRetryBackoff,
+		ReprobeInterval: DefaultReprobeInterval,
+		PlaneDownCheck:  DefaultPlaneDownCheck,
+		MaxAttempts:     DefaultMaxAttempts,
 	}
 }
 
@@ -99,6 +136,16 @@ type PlaneCounters struct {
 	CRCErrors int64
 	// FailedOver counts attempts abandoned to the other plane.
 	FailedOver int64
+	// SkippedDown counts sends that skipped this plane on a plane-down
+	// cache hit, paying only the cached status check instead of the full
+	// detection window (Transport only; SendReliable is cacheless).
+	SkippedDown int64
+	// OSMessages counts background OS-stream messages injected on this
+	// plane (osstream.go; only plane B carries the stream).
+	OSMessages int64
+	// OSDropped counts OS-stream messages the plane failed to carry
+	// (severed wire, unrouted pair).
+	OSDropped int64
 }
 
 // PlaneCounterSet renders plane p's counters as an ordered
@@ -113,6 +160,9 @@ func (n *Network) PlaneCounterSet(p int) stats.CounterSet {
 	set.Add("setup-timeouts", c.SetupTimeouts)
 	set.Add("crc-errors", c.CRCErrors)
 	set.Add("failed-over", c.FailedOver)
+	set.Add("skipped-down", c.SkippedDown)
+	set.Add("os-messages", c.OSMessages)
+	set.Add("os-dropped", c.OSDropped)
 	return set
 }
 
@@ -132,9 +182,15 @@ type Delivery struct {
 	Transit Transit
 	// Plane is the plane that delivered the message.
 	Plane int
-	// Attempts counts planes tried (1 = first try, 2 = failover).
+	// Attempts counts real send attempts (1 = delivered first try; more
+	// means failovers and soft-failure retries preceded it).
 	Attempts int
-	// Retried marks a delivery that needed the second plane.
+	// SkippedDown counts planes skipped on a plane-down cache hit before
+	// this delivery (Transport sends only).
+	SkippedDown int
+	// Retried marks a delivery that did not land on the first-choice
+	// plane — either a real failed attempt preceded it or the plane-down
+	// cache skipped plane A outright.
 	Retried bool
 	// Failed marks a message both planes failed to carry.
 	Failed bool
@@ -154,73 +210,22 @@ func (d Delivery) Latency() sim.Time { return d.Done - d.Sent }
 // times. A message failing on both planes returns with Failed set (not an
 // error: degraded operation is a modelled outcome, and the campaign
 // tables count it).
+//
+// SendReliable is the cacheless entry point: every call pays the full
+// detection window on a dead plane, and no route cache amortises the
+// lookup. Long-lived senders should hold a Transport (transport.go)
+// instead — it runs the identical protocol with the plane-down and route
+// caches on top.
 func (n *Network) SendReliable(at sim.Time, src, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
-	if src < 0 || src >= n.topo.Nodes() || dst < 0 || dst >= n.topo.Nodes() {
+	if src < 0 || src >= n.topo.Nodes() {
 		return Delivery{}, fmt.Errorf("netsim: node out of range (%d, %d)", src, dst)
 	}
-	if payloadBytes < 0 {
-		return Delivery{}, fmt.Errorf("netsim: negative payload")
-	}
-	attemptAt := at
-	attempts := 0
-	for _, plane := range []int{topo.NetworkA, topo.NetworkB} {
-		pc := &n.planes[plane]
-		path, err := n.topo.Route(src, dst, plane)
-		if err != nil {
-			// The plane is not wired at all (single-network topologies):
-			// software knows immediately, no detection cost.
-			continue
-		}
-		attempts++
-		pc.Attempts++
-		entry := n.nis[src].Links[plane].ReadyAt(attemptAt)
-		if entry > attemptAt {
-			pc.Stalled++
-		}
-		if cfg.SetupTimeout > 0 && entry > attemptAt+cfg.SetupTimeout {
-			// The send FIFO never drained: abandon the plane without
-			// entering the network.
-			pc.SetupTimeouts++
-			pc.FailedOver++
-			attemptAt += cfg.SetupTimeout + cfg.RetryBackoff
-			continue
-		}
-		tr, err := n.send(entry, path, payloadBytes, cfg.SetupTimeout)
-		if err != nil {
-			var down *DownError
-			if !errorsAs(err, &down) {
-				return Delivery{}, err
-			}
-			if down.Cut {
-				pc.LinkDown++
-			} else {
-				pc.SetupTimeouts++
-			}
-			pc.FailedOver++
-			// Silence on the wire: the sender learns only via the
-			// acknowledgment timeout, wherever the fault sits.
-			attemptAt = entry + cfg.AckTimeout + cfg.RetryBackoff
-			continue
-		}
-		if tr.Corrupted {
-			n.nis[dst].Links[plane].RecordCRCError()
-			pc.CRCErrors++
-			pc.FailedOver++
-			attemptAt = tr.LastByte + cfg.NackLatency + cfg.RetryBackoff
-			continue
-		}
-		n.nis[dst].Links[plane].RecordFrame()
-		pc.Delivered++
-		return Delivery{
-			Transit:  tr,
-			Plane:    plane,
-			Attempts: attempts,
-			Retried:  attempts > 1,
-			Sent:     at,
-			Done:     tr.LastByte,
-		}, nil
-	}
-	return Delivery{Attempts: attempts, Failed: true, Sent: at, Done: attemptAt}, nil
+	// An ephemeral transport shares the protocol body; its nil route
+	// cache falls through to direct topology lookups, and the zeroed
+	// ReprobeInterval disables the plane-down cache.
+	eph := Transport{net: n, src: src}
+	cfg.ReprobeInterval = 0
+	return eph.sendWith(at, dst, payloadBytes, cfg)
 }
 
 // errorsAs is errors.As specialised to *DownError; spelled out to keep

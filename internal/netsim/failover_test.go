@@ -226,7 +226,7 @@ func TestPlaneCounterSetOrdering(t *testing.T) {
 	if set.Get("attempts") != 1 || set.Get("delivered") != 1 {
 		t.Errorf("counter set = %+v", set)
 	}
-	want := []string{"attempts", "delivered", "stalled", "link-down", "setup-timeouts", "crc-errors", "failed-over"}
+	want := []string{"attempts", "delivered", "stalled", "link-down", "setup-timeouts", "crc-errors", "failed-over", "skipped-down", "os-messages", "os-dropped"}
 	for i, name := range want {
 		if set.Counters[i].Name != name {
 			t.Fatalf("counter %d = %q, want %q (render order is the contract)", i, set.Counters[i].Name, name)

@@ -42,6 +42,12 @@ type Network struct {
 	// planes accumulates per-plane degraded-mode counters for the
 	// failover protocol (failover.go).
 	planes [ni.LinksPerNode]PlaneCounters
+	// transports are the registered per-source send handles
+	// (transport.go); Reset clears their plane-down caches.
+	transports []*Transport
+	// os is the optional background system-software stream on plane B
+	// (osstream.go); nil when no stream is attached.
+	os *osStream
 }
 
 type wireKey struct {
@@ -205,7 +211,12 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 		if w.DeadAt(wStart) {
 			return Transit{}, &DownError{Plane: path.Network, Cut: true, At: wStart}
 		}
-		if setupTimeout > 0 && wStart-head > setupTimeout {
+		// The setup timeout does not cover the first wire: a wait there is
+		// the sender's own uplink draining earlier traffic, and the driver
+		// watches that progress through the status register (Section 3.3)
+		// instead of declaring the plane dead. A severed uplink is still
+		// caught by DeadAt above, a wedged NI by ReadyAt's stall windows.
+		if setupTimeout > 0 && len(wireClaims) > 0 && wStart-head > setupTimeout {
 			return Transit{}, &DownError{Plane: path.Network, At: head + setupTimeout}
 		}
 		wireClaims = append(wireClaims, wireClaim{w: w, start: wStart, bytes: remaining})
@@ -259,7 +270,11 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes, Corrupted: corrupted}, nil
 }
 
-// Reset clears all crossbar and wire timelines and NI state.
+// Reset clears all crossbar and wire timelines, NI state, per-plane
+// counters, the plane-down cache of every registered transport, and
+// re-arms the attached OS stream (if any) to its start — a reset network
+// re-renders byte-identically for the same send sequence, faulted
+// history or not.
 func (n *Network) Reset() {
 	for _, x := range n.xbars {
 		x.Reset()
@@ -272,4 +287,11 @@ func (n *Network) Reset() {
 	}
 	n.sent = 0
 	n.planes = [ni.LinksPerNode]PlaneCounters{}
+	for _, t := range n.transports {
+		t.resetFaultState()
+	}
+	if n.os != nil {
+		n.os.next = n.os.cfg.Start
+		n.os.idx = 0
+	}
 }

@@ -1,0 +1,110 @@
+// The background operating-system stream on plane B.
+//
+// Section 4 of the paper motivates the duplicated communication system
+// partly with software separation: "the operating system can use its own
+// network" while applications own the other. For fault campaigns this
+// matters because a failover retry lands on plane B — and a realistic
+// plane B is not idle, it carries OS traffic. The OS stream models that
+// load as a deterministic message train: every Interval, a CtrlBytes-
+// sized message between a rotating node pair enters plane B and claims
+// its circuits like any other send, so application retries queue behind
+// it exactly where the hardware would make them queue.
+//
+// The stream is advanced lazily: before each reliable-send attempt the
+// transport injects every OS message whose entry time has passed. The
+// injection order is therefore a pure function of the send sequence, and
+// two identical runs stay byte-identical.
+package netsim
+
+import (
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// Default OS-stream parameters: a steady control-message load that
+// occupies plane B a few percent of the time — enough to be felt by
+// failover retries without starving them.
+const (
+	// DefaultOSInterval spaces the OS messages.
+	DefaultOSInterval = 10 * sim.Microsecond
+	// DefaultOSBytes is the OS message payload (kernel bookkeeping
+	// traffic: scheduling tokens, page metadata — small messages).
+	DefaultOSBytes = 128
+)
+
+// OSStreamConfig describes the background system-software load on plane
+// B of the duplicated network.
+type OSStreamConfig struct {
+	// Interval is the simulated time between OS messages.
+	Interval sim.Time
+	// Bytes is the payload size of each OS message.
+	Bytes int
+	// Start delays the first OS message.
+	Start sim.Time
+}
+
+// DefaultOSStream returns the calibrated background load.
+func DefaultOSStream() OSStreamConfig {
+	return OSStreamConfig{Interval: DefaultOSInterval, Bytes: DefaultOSBytes}
+}
+
+// osStream is the lazily-advanced injection state.
+type osStream struct {
+	cfg  OSStreamConfig
+	next sim.Time
+	idx  int64
+}
+
+// AttachOSStream starts a background OS stream on plane B. Attaching
+// replaces any previous stream; Reset re-arms the stream to its start.
+// On topologies without a plane-B route between the chosen pair the
+// message is dropped and counted, not silently ignored.
+func (n *Network) AttachOSStream(cfg OSStreamConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultOSInterval
+	}
+	if cfg.Bytes <= 0 {
+		cfg.Bytes = DefaultOSBytes
+	}
+	n.os = &osStream{cfg: cfg, next: cfg.Start}
+}
+
+// OSStreamAttached reports whether a background OS stream is active.
+func (n *Network) OSStreamAttached() bool { return n.os != nil }
+
+// advanceOS injects every OS message whose entry time is at or before
+// now. Calls with a non-monotone now are no-ops for the earlier time, so
+// the injection sequence is a pure function of the reliable-send
+// sequence. Each message claims plane-B circuits through the ordinary
+// wormhole send; severed plane-B wires turn messages into drops.
+func (n *Network) advanceOS(now sim.Time) {
+	os := n.os
+	if os == nil {
+		return
+	}
+	nodes := n.topo.Nodes()
+	if nodes < 2 {
+		return
+	}
+	pc := &n.planes[topo.NetworkB]
+	for os.next <= now {
+		src := int(os.idx % int64(nodes))
+		dst := (src + nodes/2) % nodes
+		if dst == src {
+			dst = (src + 1) % nodes
+		}
+		at := os.next
+		os.idx++
+		os.next += os.cfg.Interval
+		path, err := n.topo.Route(src, dst, topo.NetworkB)
+		if err != nil {
+			pc.OSDropped++
+			continue
+		}
+		if _, err := n.send(at, path, os.cfg.Bytes, 0); err != nil {
+			pc.OSDropped++
+			continue
+		}
+		pc.OSMessages++
+	}
+}

@@ -1,0 +1,336 @@
+// Transport: the one fault-aware send path every software layer uses.
+//
+// Before this layer existed, internal/comm, internal/mpl and
+// internal/earth each hand-rolled their own sends over raw Network.Send
+// on plane A — so no application benchmark could run under a fault
+// campaign, and every layer repeated the route lookup per message. A
+// Transport is a per-source handle over the network that owns:
+//
+//   - route lookup, with a per-(dst, plane) route cache (routes are a
+//     pure function of the immutable topology, so the cache survives
+//     Reset);
+//   - plane selection under the driver-level failover protocol of
+//     failover.go;
+//   - a per-plane "plane down" cache: after a failed attempt the driver
+//     remembers the plane is dead and routes around it at a cheap
+//     status-check cost instead of re-paying the full acknowledgment
+//     timeout per message, reprobing the plane at a deterministic
+//     interval (the cache is what bends the degradation curve from
+//     "every message pays 12 µs" to "the first message pays 12 µs");
+//   - advancing the optional background OS stream (osstream.go) so
+//     failover retries contend with system-software traffic on plane B
+//     instead of finding it idle.
+//
+// The layering rule is enforced by pmlint's `layering` analyzer: outside
+// this package, nothing calls Network.Send directly without an audited
+// //pmlint:allow directive.
+package netsim
+
+import (
+	"fmt"
+
+	"powermanna/internal/ni"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// routeEntry caches one (dst, plane) route lookup outcome.
+type routeEntry struct {
+	// state is routeUnknown until the first lookup, then routeOK or
+	// routeNone.
+	state [2]uint8
+	path  [2]topo.Path
+}
+
+const (
+	routeUnknown uint8 = iota
+	routeOK
+	routeNone
+)
+
+// planeDown is the per-plane entry of the driver's plane-down cache.
+type planeDown struct {
+	// down marks the plane as known-dead from the sender's viewpoint.
+	down bool
+	// reprobeAt is when the driver will next risk a real attempt on the
+	// plane (detection time + FailoverConfig.ReprobeInterval).
+	reprobeAt sim.Time
+}
+
+// Transport is one node's fault-aware handle over the network: the send
+// path internal/comm, internal/mpl and internal/earth go through. Create
+// one per source node with Network.Transport. A Transport is bound to
+// its network's lifetime; Network.Reset clears its fault state (plane-
+// down cache) but keeps the route cache, which depends only on the
+// immutable topology.
+type Transport struct {
+	net *Network
+	src int
+	cfg FailoverConfig
+	// routes is the per-destination route cache (nil on the ephemeral
+	// transports behind Network.SendReliable).
+	routes []routeEntry
+	// down is the plane-down cache, one entry per link interface of the
+	// node (one per network plane of the duplicated system).
+	down [ni.LinksPerNode]planeDown
+}
+
+// Transport returns a new fault-aware per-source send handle using the
+// given failover configuration, registered with the network so Reset
+// clears its plane-down cache.
+func (n *Network) Transport(src int, cfg FailoverConfig) (*Transport, error) {
+	if src < 0 || src >= n.topo.Nodes() {
+		return nil, fmt.Errorf("netsim: transport source %d out of range", src)
+	}
+	t := &Transport{
+		net:    n,
+		src:    src,
+		cfg:    cfg,
+		routes: make([]routeEntry, n.topo.Nodes()),
+	}
+	n.transports = append(n.transports, t)
+	return t, nil
+}
+
+// MustTransport is Transport for callers that construct over a validated
+// topology; it panics on an out-of-range source.
+func (n *Network) MustTransport(src int, cfg FailoverConfig) *Transport {
+	t, err := n.Transport(src, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Src reports the node this transport sends from.
+func (t *Transport) Src() int { return t.src }
+
+// Config returns the failover configuration the transport applies.
+func (t *Transport) Config() FailoverConfig { return t.cfg }
+
+// PlaneDown reports whether the driver's plane-down cache currently
+// marks the plane dead, and until when sends skip it.
+func (t *Transport) PlaneDown(plane int) (down bool, reprobeAt sim.Time) {
+	if plane < 0 || plane >= len(t.down) {
+		return false, 0
+	}
+	return t.down[plane].down, t.down[plane].reprobeAt
+}
+
+// Route returns the cached route from the transport's source to dst on
+// the given plane, computing and caching it on first use.
+func (t *Transport) Route(dst, plane int) (topo.Path, error) {
+	if t.routes == nil || dst < 0 || dst >= len(t.routes) {
+		return t.net.topo.Route(t.src, dst, plane)
+	}
+	e := &t.routes[dst]
+	if e.state[plane] == routeUnknown {
+		p, err := t.net.topo.Route(t.src, dst, plane)
+		if err != nil {
+			e.state[plane] = routeNone
+		} else {
+			e.state[plane] = routeOK
+			e.path[plane] = p
+		}
+	}
+	if e.state[plane] == routeNone {
+		return topo.Path{}, fmt.Errorf("netsim: no plane-%s route %d->%d", planeName(plane), t.src, dst)
+	}
+	return e.path[plane], nil
+}
+
+// Send posts payloadBytes to dst under the failover protocol with the
+// transport's configuration: plane A first, then plane B, with the
+// plane-down cache short-circuiting attempts to a known-dead plane. See
+// Network.SendReliable for the protocol's timing accounting; Send adds
+// the cache on top.
+func (t *Transport) Send(at sim.Time, dst, payloadBytes int) (Delivery, error) {
+	return t.sendWith(at, dst, payloadBytes, t.cfg)
+}
+
+// resetFaultState clears the plane-down cache (Network.Reset); the route
+// cache depends only on the immutable topology and survives.
+func (t *Transport) resetFaultState() {
+	t.down = [ni.LinksPerNode]planeDown{}
+}
+
+// markDown records a failed attempt on a plane: the driver treats the
+// plane as dead until detectedAt + ReprobeInterval. A zero interval
+// disables the cache.
+func (t *Transport) markDown(plane int, detectedAt sim.Time, cfg FailoverConfig) {
+	if cfg.ReprobeInterval <= 0 || plane < 0 || plane >= len(t.down) {
+		return
+	}
+	t.down[plane] = planeDown{down: true, reprobeAt: detectedAt + cfg.ReprobeInterval}
+}
+
+// sendWith is the shared failover protocol: the body of both
+// Transport.Send and the cacheless Network.SendReliable. All protocol
+// costs — stall deferral, ack timeout, NACK return, backoff, plane-down
+// status checks — land in the returned Delivery's times.
+//
+// The plane-down cache never loses a message on its own: a send is
+// reported failed only after a real attempt on every wired plane, so if
+// the first pass skipped cached-down planes without delivering, a second
+// pass probes them for real (the cache is a latency optimisation, not an
+// availability decision).
+func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
+	n := t.net
+	if dst < 0 || dst >= n.topo.Nodes() {
+		return Delivery{}, fmt.Errorf("netsim: node out of range (%d, %d)", t.src, dst)
+	}
+	if payloadBytes < 0 {
+		return Delivery{}, fmt.Errorf("netsim: negative payload")
+	}
+	st := sendState{at: at}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = len(st.hard) // legacy: one real attempt per plane
+	}
+	// Pass 1, preferred order: plane A, then plane B, with the plane-down
+	// cache short-circuiting planes the driver already knows are dead.
+	for _, plane := range [2]int{topo.NetworkA, topo.NetworkB} {
+		if st.attempts >= maxAttempts {
+			break
+		}
+		if pd := &t.down[plane]; pd.down && cfg.ReprobeInterval > 0 && st.attemptAt() < pd.reprobeAt {
+			if _, err := t.Route(dst, plane); err != nil {
+				continue // not wired: nothing to skip
+			}
+			// Plane-down cache hit: the driver already knows this plane
+			// is dead and pays only a cached status check, not the full
+			// detection window.
+			n.planes[plane].SkippedDown++
+			st.skipped = append(st.skipped, plane)
+			st.elapsed += cfg.PlaneDownCheck
+			continue
+		}
+		d, final, err := t.tryPlane(plane, dst, payloadBytes, cfg, &st)
+		if final {
+			return d, err
+		}
+	}
+	// Pass 2: nothing delivered yet, so probe the planes the cache
+	// skipped before burning budget on retries.
+	for _, plane := range st.skipped {
+		if st.attempts >= maxAttempts {
+			break
+		}
+		d, final, err := t.tryPlane(plane, dst, payloadBytes, cfg, &st)
+		if final {
+			return d, err
+		}
+	}
+	// Pass 3: every wired plane soft-failed at least once. Congestion and
+	// death are indistinguishable from the sender, so keep alternating
+	// planes that lack hard evidence of death until the budget runs out.
+	for st.attempts < maxAttempts {
+		before := st.attempts
+		for _, plane := range [2]int{topo.NetworkA, topo.NetworkB} {
+			if st.hard[plane] || st.attempts >= maxAttempts {
+				continue
+			}
+			d, final, err := t.tryPlane(plane, dst, payloadBytes, cfg, &st)
+			if final {
+				return d, err
+			}
+		}
+		if st.attempts == before {
+			break // only hard-down or unwired planes remain
+		}
+	}
+	return Delivery{Attempts: st.attempts, SkippedDown: len(st.skipped), Failed: true, Sent: at, Done: st.attemptAt()}, nil
+}
+
+// sendState threads one reliable send's accounting through its plane
+// attempts: the sender-observed clock and the attempt/skip tallies.
+type sendState struct {
+	// at is the requested entry time; elapsed accumulates every
+	// detection window, status check and backoff since.
+	at, elapsed sim.Time
+	attempts    int
+	skipped     []int
+	// hard marks planes ruled out by hard evidence (severed wire) —
+	// never worth a retry within this send.
+	hard [ni.LinksPerNode]bool
+}
+
+// attemptAt is the sender's clock for the next attempt.
+func (st *sendState) attemptAt() sim.Time { return st.at + st.elapsed }
+
+// tryPlane runs one real attempt on a plane. final reports that the
+// protocol is over: delivery, or a non-protocol error. A false final
+// means the attempt failed and the clock advanced past its detection
+// window — the caller moves on to the next plane.
+func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, st *sendState) (Delivery, bool, error) {
+	n := t.net
+	// System-software traffic that accumulated up to this attempt's
+	// entry time claims its plane-B circuits first, so a failover retry
+	// contends with the OS stream instead of finding plane B idle
+	// (Section 4: system software owns its own network).
+	attemptAt := st.attemptAt()
+	n.advanceOS(attemptAt)
+	path, err := t.Route(dst, plane)
+	if err != nil {
+		// The plane is not wired at all (single-network topologies):
+		// software knows immediately, no detection cost.
+		return Delivery{}, false, nil
+	}
+	pc := &n.planes[plane]
+	st.attempts++
+	pc.Attempts++
+	entry := n.nis[t.src].Links[plane].ReadyAt(attemptAt)
+	if entry > attemptAt {
+		pc.Stalled++
+	}
+	if cfg.SetupTimeout > 0 && entry > attemptAt+cfg.SetupTimeout {
+		// The send FIFO never drained: abandon the plane without
+		// entering the network.
+		pc.SetupTimeouts++
+		pc.FailedOver++
+		t.markDown(plane, attemptAt+cfg.SetupTimeout, cfg)
+		st.elapsed += cfg.SetupTimeout + cfg.RetryBackoff
+		return Delivery{}, false, nil
+	}
+	tr, err := n.send(entry, path, payloadBytes, cfg.SetupTimeout)
+	if err != nil {
+		var down *DownError
+		if !errorsAs(err, &down) {
+			return Delivery{}, true, err
+		}
+		if down.Cut {
+			pc.LinkDown++
+			st.hard[plane] = true
+		} else {
+			pc.SetupTimeouts++
+		}
+		pc.FailedOver++
+		// Silence on the wire: the sender learns only via the
+		// acknowledgment timeout, wherever the fault sits.
+		detected := entry + cfg.AckTimeout
+		t.markDown(plane, detected, cfg)
+		st.elapsed = detected + cfg.RetryBackoff - st.at
+		return Delivery{}, false, nil
+	}
+	if tr.Corrupted {
+		n.nis[dst].Links[plane].RecordCRCError()
+		pc.CRCErrors++
+		pc.FailedOver++
+		detected := tr.LastByte + cfg.NackLatency
+		t.markDown(plane, detected, cfg)
+		st.elapsed = detected + cfg.RetryBackoff - st.at
+		return Delivery{}, false, nil
+	}
+	n.nis[dst].Links[plane].RecordFrame()
+	pc.Delivered++
+	t.down[plane] = planeDown{}
+	return Delivery{
+		Transit:     tr,
+		Plane:       plane,
+		Attempts:    st.attempts,
+		Retried:     st.attempts > 1 || len(st.skipped) > 0,
+		SkippedDown: len(st.skipped),
+		Sent:        st.at,
+		Done:        tr.LastByte,
+	}, true, nil
+}
