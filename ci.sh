@@ -3,9 +3,10 @@
 #
 # Runs the whole verification ladder and stops at the first failure:
 # formatting, vet, build, race-enabled tests, the determinism-contract
-# lint (cmd/pmlint), a build of every cmd/* binary, and a pmfault smoke
-# campaign pinned against a golden degradation table. A clean exit means
-# the tree is safe to ship.
+# lint (cmd/pmlint), a build of every cmd/* binary, pmfault smoke
+# campaigns pinned against golden degradation tables, and pmtrace smoke
+# exports pinned against golden timelines. A clean exit means the tree
+# is safe to ship.
 set -eu
 
 cd "$(dirname "$0")"
@@ -41,7 +42,7 @@ echo "== pmfault smoke campaigns =="
 # Fixed seeds; stdout must match the checked-in goldens byte for byte
 # (the campaign half of the determinism contract). One synthetic
 # campaign, one application campaign over the transport layer.
-for campaign in link-cut heat-linkcut; do
+for campaign in link-cut heat-linkcut central-cut; do
     "$bindir/pmfault" --campaign "$campaign" --seed 1 > "$bindir/pmfault.out"
     if ! cmp -s "testdata/pmfault_${campaign}_seed1.golden" "$bindir/pmfault.out"; then
         echo "pmfault smoke output diverged from testdata/pmfault_${campaign}_seed1.golden:" >&2
@@ -49,5 +50,20 @@ for campaign in link-cut heat-linkcut; do
         exit 1
     fi
 done
+
+echo "== pmtrace smoke exports =="
+# A comm workload and a fault campaign, traced with a fixed seed; the
+# Chrome trace_event exports must match the goldens byte for byte (the
+# timeline half of the determinism contract).
+"$bindir/pmtrace" --run pingpong --seed 1 > "$bindir/pmtrace.out"
+if ! cmp -s "testdata/pmtrace_pingpong_seed1.golden" "$bindir/pmtrace.out"; then
+    echo "pmtrace pingpong output diverged from testdata/pmtrace_pingpong_seed1.golden" >&2
+    exit 1
+fi
+"$bindir/pmtrace" --campaign link-cut --seed 1 --messages 60 > "$bindir/pmtrace.out"
+if ! cmp -s "testdata/pmtrace_link-cut_seed1.golden" "$bindir/pmtrace.out"; then
+    echo "pmtrace link-cut output diverged from testdata/pmtrace_link-cut_seed1.golden" >&2
+    exit 1
+fi
 
 echo "ci: all checks passed"

@@ -55,11 +55,21 @@ func main() {
 		return
 	}
 
+	// An unset --topo stays nil so a campaign's own default topology can
+	// apply (central-cut needs System256's central stage); an explicit
+	// flag always wins.
+	topoSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "topo" {
+			topoSet = true
+		}
+	})
 	var t *topo.Topology
-	switch *topoFlag {
-	case "cluster8":
+	switch {
+	case !topoSet:
+	case *topoFlag == "cluster8":
 		t = topo.Cluster8()
-	case "system256":
+	case *topoFlag == "system256":
 		t = topo.System256()
 	default:
 		fmt.Fprintf(os.Stderr, "pmfault: unknown topology %q\n", *topoFlag)

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"powermanna/internal/trace"
+)
+
+// renderChrome runs one pmtrace workload or campaign and returns the
+// Chrome trace_event export, failing the test on any error.
+func renderChrome(t *testing.T, campaign, run string, seed int64, messages int) string {
+	t.Helper()
+	rec := trace.NewRecorder()
+	var err error
+	if campaign != "" {
+		err = runCampaign(rec, campaign, seed, nil, messages)
+	} else {
+		err = runWorkload(rec, run, seed, nil, messages)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := trace.WriteChrome(&b, rec); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestWorkloadTracesDeterministic runs every workload twice with the
+// same seed and requires byte-identical exports — the pmtrace half of
+// the determinism contract.
+func TestWorkloadTracesDeterministic(t *testing.T) {
+	for _, run := range []string{"pingpong", "fib", "dispatch"} {
+		first := renderChrome(t, "", run, 1, 0)
+		second := renderChrome(t, "", run, 1, 0)
+		if first != second {
+			t.Errorf("--run %s: two seed-1 runs produced different traces", run)
+		}
+		if strings.Count(first, "\n") < 4 {
+			t.Errorf("--run %s: trace suspiciously empty:\n%s", run, first)
+		}
+		if first == renderChrome(t, "", run, 2, 0) {
+			t.Errorf("--run %s: seeds 1 and 2 produced identical traces", run)
+		}
+	}
+}
+
+// TestCampaignTracesDeterministic does the same for the fault-campaign
+// mode: one synthetic campaign and the System256 central-stage one.
+func TestCampaignTracesDeterministic(t *testing.T) {
+	for _, campaign := range []string{"link-cut", "central-cut"} {
+		first := renderChrome(t, campaign, "", 1, 60)
+		if first != renderChrome(t, campaign, "", 1, 60) {
+			t.Errorf("--campaign %s: two seed-1 runs produced different traces", campaign)
+		}
+		if !strings.Contains(first, "failover") {
+			t.Errorf("--campaign %s: no failover events in the trace", campaign)
+		}
+	}
+}
+
+// TestGoldenTraces pins the two CI-smoked exports against the
+// checked-in goldens so a trace-format or schedule change is a
+// deliberate golden update, never drift.
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		golden, campaign, run string
+		messages              int
+	}{
+		{"pmtrace_pingpong_seed1.golden", "", "pingpong", 0},
+		{"pmtrace_link-cut_seed1.golden", "link-cut", "", 60},
+	}
+	for _, c := range cases {
+		want, err := os.ReadFile("../../testdata/" + c.golden)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with pmtrace): %v", err)
+		}
+		got := renderChrome(t, c.campaign, c.run, 1, c.messages)
+		if got != string(want) {
+			t.Errorf("%s: output diverged from golden (len %d vs %d)", c.golden, len(got), len(want))
+		}
+	}
+}
+
+// TestProfileFormat checks the plain-text exporter renders a table for
+// a recorded workload.
+func TestProfileFormat(t *testing.T) {
+	rec := trace.NewRecorder()
+	if err := runWorkload(rec, "dispatch", 1, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := trace.WriteProfile(&b, rec, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "trace profile") || !strings.Contains(out, "dispatcher addr") {
+		t.Errorf("profile output missing expected sections:\n%s", out)
+	}
+}

@@ -43,7 +43,7 @@ func Example_matmult() {
 // An EARTH fiber tree computes Fibonacci across the eight-node cluster.
 func Example_earth() {
 	s := powermanna.NewEarth(powermanna.Cluster8(), powermanna.DefaultEarthParams())
-	v, _ := powermanna.RunEarthFib(s, 12)
+	v, _, _ := powermanna.RunEarthFib(s, 12)
 	fmt.Println(v)
 	// Output: 144
 }

@@ -16,10 +16,16 @@ func main() {
 	const n = 20
 
 	single := powermanna.NewEarth(powermanna.SingleNode(), powermanna.DefaultEarthParams())
-	v1, t1 := powermanna.RunEarthFib(single, n)
+	v1, t1, err := powermanna.RunEarthFib(single, n)
+	if err != nil {
+		panic(err)
+	}
 
 	cluster := powermanna.NewEarth(powermanna.Cluster8(), powermanna.DefaultEarthParams())
-	v8, t8 := powermanna.RunEarthFib(cluster, n)
+	v8, t8, err := powermanna.RunEarthFib(cluster, n)
+	if err != nil {
+		panic(err)
+	}
 
 	if v1 != v8 {
 		panic("results diverge")

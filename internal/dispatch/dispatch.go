@@ -20,7 +20,12 @@
 // depth, in-order versus out-of-order completion).
 package dispatch
 
-import "fmt"
+import (
+	"fmt"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/trace"
+)
 
 // Kind is a bus transaction type.
 type Kind uint8
@@ -169,6 +174,11 @@ type Dispatcher struct {
 	dataBusyUntil []int64
 
 	stats Stats
+
+	// rec, when non-nil, records address and data tenures as trace spans;
+	// cyclePeriod converts bus cycles to simulated time for the recorder.
+	rec         *trace.Recorder
+	cyclePeriod sim.Time
 }
 
 // Stats counts protocol activity.
@@ -199,6 +209,23 @@ func New(cfg Config, snoop SnoopFunc) *Dispatcher {
 
 // Cycle reports the current bus cycle.
 func (d *Dispatcher) Cycle() int64 { return d.cycle }
+
+// Trace attaches a recorder; cyclePeriod is the bus-cycle length used to
+// place tenures on the simulated timeline (e.g. the 60 MHz bus clock's
+// period). A nil recorder detaches.
+func (d *Dispatcher) Trace(rec *trace.Recorder, cyclePeriod sim.Time) {
+	d.rec, d.cyclePeriod = rec, cyclePeriod
+}
+
+// traceSpan records a tenure span on a dispatcher track, converting
+// cycles to simulated time.
+func (d *Dispatcher) traceSpan(unit int, name string, from, until int64) {
+	if !d.rec.Enabled() || d.cyclePeriod <= 0 {
+		return
+	}
+	d.rec.Span(trace.DispatchTrack(unit), "dispatch", name,
+		sim.Time(from)*d.cyclePeriod, sim.Time(until)*d.cyclePeriod)
+}
 
 // Stats returns accumulated counters.
 func (d *Dispatcher) Stats() Stats { return d.stats }
@@ -253,6 +280,7 @@ func (d *Dispatcher) Step() {
 			d.addrBusyUntil = c + int64(d.cfg.AddressCycles)
 			t.phase = phaseState{p: phaseSnoopWait, until: d.addrBusyUntil + int64(d.cfg.SnoopLagCycles)}
 			d.stats.AddressTenures++
+			d.traceSpan(0, "addr "+t.Kind.String(), c, d.addrBusyUntil)
 		}
 	}
 
@@ -267,6 +295,9 @@ func (d *Dispatcher) Step() {
 			t.Intervention = d.snoop(t)
 			if t.Intervention {
 				d.stats.Interventions++
+				if d.rec.Enabled() && d.cyclePeriod > 0 {
+					d.rec.Instant(trace.DispatchTrack(0), "dispatch", "intervention", sim.Time(c)*d.cyclePeriod)
+				}
 			}
 			if t.Kind.addressOnly() {
 				t.phase = phaseState{p: phaseDone}
@@ -310,6 +341,7 @@ func (d *Dispatcher) Step() {
 			d.dataBusyUntil[t.Master] = c + int64(d.cfg.DataCycles)
 			t.phase = phaseState{p: phaseData, until: d.dataBusyUntil[t.Master]}
 			d.stats.DataTenures++
+			d.traceSpan(1+t.Master, "data "+t.Kind.String(), c, d.dataBusyUntil[t.Master])
 
 		case phaseData:
 			if c < t.phase.until {

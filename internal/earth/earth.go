@@ -31,6 +31,7 @@ import (
 	"powermanna/internal/netsim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
+	"powermanna/internal/trace"
 )
 
 // Params are the runtime's cost constants, calibrated to the EARTH-MANNA
@@ -90,6 +91,13 @@ type System struct {
 	fibersRun int64
 	tokens    int64
 	remote    int64
+
+	// err is the first fatal runtime error (a token lost on both planes);
+	// once set, the run is degraded and Run's caller must check Err.
+	err error
+	// rec, when non-nil, records fiber, SU-service and token-lifetime
+	// spans. Attached via SetRecorder.
+	rec *trace.Recorder
 }
 
 type fiberInst struct {
@@ -147,6 +155,27 @@ func NewWithFailover(t *topo.Topology, p Params, cfg netsim.FailoverConfig) *Sys
 // Network exposes the underlying interconnect — for fault injection and
 // degraded-mode counters; tokens travel through the per-node transports.
 func (s *System) Network() *netsim.Network { return s.net }
+
+// SetRecorder attaches a trace recorder to the runtime and its network:
+// fibers, SU token service and token lifetimes are recorded alongside
+// the network's own message and failover spans. A nil recorder detaches.
+func (s *System) SetRecorder(r *trace.Recorder) {
+	s.rec = r
+	s.net.SetRecorder(r)
+}
+
+// Err reports the first fatal runtime error of the run — a control token
+// lost on both network planes, which deadlocks the sync-slot graph. A
+// non-nil Err means the makespan and program results are not meaningful.
+func (s *System) Err() error { return s.err }
+
+// fail records the first fatal error; later errors are consequences of
+// the first and are dropped.
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
 
 // Register adds a threaded procedure and returns its ID. All procedures
 // must be registered before Run.
@@ -234,10 +263,14 @@ func (s *System) runFiber(node int) {
 	ns.ready = ns.ready[1:]
 	s.fibersRun++
 
-	ctx := &Ctx{sys: s, node: node, now: sim.Max(s.sched.Now(), ns.euFree)}
+	start := sim.Max(s.sched.Now(), ns.euFree)
+	ctx := &Ctx{sys: s, node: node, now: start}
 	ctx.now += s.cycles(s.params.FiberDispatchCycles)
 	s.procs[f.proc](ctx, f.args)
 	ns.euFree = ctx.now
+	if s.rec.Enabled() {
+		s.rec.Span(trace.CPUTrack(node, 0), "earth", "fiber", start, ctx.now)
+	}
 
 	if len(ns.ready) > 0 {
 		s.sched.At(ns.euFree, func() { s.runFiber(node) })
@@ -254,6 +287,20 @@ const (
 	tokDataSync
 	tokGetReq
 )
+
+// String names the token kind for trace labels and diagnostics.
+func (k tokenKind) String() string {
+	switch k {
+	case tokInvoke:
+		return "invoke"
+	case tokDataSync:
+		return "data-sync"
+	case tokGetReq:
+		return "get-req"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
 
 type token struct {
 	kind tokenKind
@@ -281,12 +328,25 @@ func (s *System) post(src, dst int, tk token, t sim.Time) {
 	s.remote++
 	d, err := s.tps[src].Send(t, dst, s.params.CtrlBytes)
 	if err != nil {
-		panic(fmt.Sprintf("earth: %v", err))
+		s.fail(fmt.Errorf("earth: %v", err))
+		return
 	}
 	if d.Failed {
-		// A lost token would deadlock the sync-slot graph; the runtime
-		// treats both planes dead as fatal, like the real machine would.
-		panic(fmt.Sprintf("earth: token %d->%d lost on both planes", src, dst))
+		// A lost token deadlocks the sync-slot graph: the continuation
+		// waiting on it can never fire. The run degrades to an error —
+		// already-scheduled events still drain, but Err reports the loss
+		// and the caller must discard the makespan.
+		if s.rec.Enabled() {
+			s.rec.InstantArg(trace.NodeTrack(src), "earth", "token-lost", d.Done,
+				fmt.Sprintf("%s %d->%d after %d attempts", tk.kind, src, dst, d.Attempts))
+		}
+		s.fail(fmt.Errorf("earth: token %s %d->%d lost on both planes at %v after %d attempts",
+			tk.kind, src, dst, d.Done, d.Attempts))
+		return
+	}
+	if s.rec.Enabled() {
+		s.rec.SpanArg(trace.NodeTrack(dst), "earth", "token "+tk.kind.String(), t, d.Done,
+			fmt.Sprintf("%d->%d", src, dst))
 	}
 	s.sched.At(d.Done, func() { s.suService(dst, tk, s.sched.Now()) })
 }
@@ -297,6 +357,9 @@ func (s *System) suService(node int, tk token, t sim.Time) {
 	start := sim.Max(t, ns.suFree)
 	done := start + s.cycles(s.params.SUOpCycles)
 	ns.suFree = done
+	if s.rec.Enabled() {
+		s.rec.Span(trace.CPUTrack(node, 1), "earth", "su "+tk.kind.String(), start, done)
+	}
 
 	switch tk.kind {
 	case tokInvoke:

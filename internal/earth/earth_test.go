@@ -94,7 +94,10 @@ func TestRemoteGetSync(t *testing.T) {
 func TestFibCorrectness(t *testing.T) {
 	for _, n := range []int64{0, 1, 2, 5, 10, 15} {
 		s := New(topo.Cluster8(), DefaultParams())
-		got, _ := RunFib(s, n)
+		got, _, err := RunFib(s, n)
+		if err != nil {
+			t.Fatalf("fib(%d): %v", n, err)
+		}
 		if want := FibReference(n); got != want {
 			t.Errorf("fib(%d) = %d, want %d", n, got, want)
 		}
@@ -104,9 +107,12 @@ func TestFibCorrectness(t *testing.T) {
 func TestFibParallelSpeedup(t *testing.T) {
 	const n = 18
 	s1 := New(singleNode(), DefaultParams())
-	v1, t1 := RunFib(s1, n)
+	v1, t1, err1 := RunFib(s1, n)
 	s8 := New(topo.Cluster8(), DefaultParams())
-	v8, t8 := RunFib(s8, n)
+	v8, t8, err8 := RunFib(s8, n)
+	if err1 != nil || err8 != nil {
+		t.Fatalf("fib errors: %v, %v", err1, err8)
+	}
 	if v1 != v8 || v1 != FibReference(n) {
 		t.Fatalf("values diverge: %d vs %d", v1, v8)
 	}
@@ -122,11 +128,30 @@ func TestFibParallelSpeedup(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() sim.Time {
 		s := New(topo.Cluster8(), DefaultParams())
-		_, makespan := RunFib(s, 14)
+		_, makespan, _ := RunFib(s, 14)
 		return makespan
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestLostTokenDegradesToError(t *testing.T) {
+	s := New(topo.Cluster8(), DefaultParams())
+	// Sever every node uplink on both planes before any traffic: the
+	// first remote token fails over, exhausts its attempts, and is lost.
+	// The run must degrade to an error — not panic — so fault campaigns
+	// can sweep fib under link cuts.
+	for n := 0; n < s.Nodes(); n++ {
+		s.Network().CutWire(n, topo.NetworkA, 0)
+		s.Network().CutWire(n, topo.NetworkB, 0)
+	}
+	_, _, err := RunFib(s, 12)
+	if err == nil {
+		t.Fatal("fib over a fully severed network reported no error")
+	}
+	if s.Err() == nil {
+		t.Error("System.Err is nil after a lost token")
 	}
 }
 

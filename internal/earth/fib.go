@@ -67,12 +67,14 @@ func (p *FibProgram) Start(s *System, n int64) {
 }
 
 // RunFib builds, runs and reads back fib(n) on a system, returning the
-// value and the simulated makespan.
-func RunFib(s *System, n int64) (int64, sim.Time) {
+// value and the simulated makespan. A non-nil error means a control
+// token was lost on both network planes (System.Err): the run degraded
+// and the value and makespan are not meaningful.
+func RunFib(s *System, n int64) (int64, sim.Time, error) {
 	p := InstallFib(s)
 	p.Start(s, n)
 	makespan := s.Run()
-	return s.Mem(0, resultAddr), makespan
+	return s.Mem(0, resultAddr), makespan, s.Err()
 }
 
 // FibReference computes fib(n) directly for validation.

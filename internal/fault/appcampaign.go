@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"powermanna/internal/earth"
 	"powermanna/internal/heat"
 	"powermanna/internal/mpl"
 	"powermanna/internal/netsim"
@@ -47,6 +48,9 @@ const (
 	heatSteps = 60
 	// allreduceRounds is the collective campaign's round count.
 	allreduceRounds = 30
+	// fibN is the EARTH campaign's Fibonacci argument: deep enough that
+	// the fiber tree spreads across the cluster.
+	fibN = 16
 )
 
 // AppCampaign is a named application-level fault experiment: a workload
@@ -63,6 +67,11 @@ type AppCampaign struct {
 	// makespan. It must also verify the computation's result — a fault
 	// campaign that silently returns wrong numbers proves nothing.
 	Workload func(w *mpl.World) (sim.Time, error)
+	// EarthWorkload runs an EARTH-runtime program instead of a
+	// message-passing one; exactly one of Workload and EarthWorkload is
+	// set. Like Workload it must verify its result, and it must surface a
+	// lost token as an error (System.Err), never a panic.
+	EarthWorkload func(s *earth.System) (sim.Time, error)
 }
 
 // AppCampaigns lists the application campaigns in CLI order.
@@ -79,6 +88,12 @@ func AppCampaigns() []AppCampaign {
 			Description: "sweep AllReduce rounds while plane-A uplinks die; the butterfly's edges fail over onto the OS-loaded plane B",
 			Rates:       []int{0, 1, 2, 4},
 			Workload:    allreduceWorkload,
+		},
+		{
+			Name:          "fib-linkcut",
+			Description:   "run the EARTH fib fiber tree while plane-A uplinks die; control tokens fail over, and a token lost on both planes degrades to an error",
+			Rates:         []int{0, 1, 2, 4},
+			EarthWorkload: fibWorkload,
 		},
 	}
 }
@@ -136,6 +151,21 @@ func allreduceWorkload(w *mpl.World) (sim.Time, error) {
 	return w.MaxTime(), nil
 }
 
+// fibWorkload runs the EARTH Fibonacci fiber tree and verifies the
+// result against the closed-form reference. A token lost on both planes
+// surfaces as RunFib's error — the graceful-degradation path that lets
+// this workload run under link-cut sweeps at all.
+func fibWorkload(s *earth.System) (sim.Time, error) {
+	v, makespan, err := earth.RunFib(s, fibN)
+	if err != nil {
+		return 0, err
+	}
+	if want := earth.FibReference(fibN); v != want {
+		return 0, fmt.Errorf("fault: fib(%d) = %d, want %d", fibN, v, want)
+	}
+	return makespan, nil
+}
+
 // AppRow is one line of the application degradation table.
 type AppRow struct {
 	// Faults is the injected plane-A link-cut count.
@@ -184,9 +214,23 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 	res := &AppResult{Campaign: c, Options: opt}
 	var baseline sim.Time
 	for _, rate := range c.Rates {
-		w := mpl.NewWorldWith(opt.Topology, netsim.DefaultFailover())
-		net := w.Network()
+		// Build the workload's runtime: a message-passing world or an
+		// EARTH system, both over a fresh fault-aware network.
+		var runW func() (sim.Time, error)
+		var net *netsim.Network
+		if c.EarthWorkload != nil {
+			s := earth.NewWithFailover(opt.Topology, earth.DefaultParams(), netsim.DefaultFailover())
+			net = s.Network()
+			runW = func() (sim.Time, error) { return c.EarthWorkload(s) }
+		} else {
+			w := mpl.NewWorldWith(opt.Topology, netsim.DefaultFailover())
+			net = w.Network()
+			runW = func() (sim.Time, error) { return c.Workload(w) }
+		}
 		net.AttachOSStream(netsim.DefaultOSStream())
+		if opt.Trace != nil && rate == c.Rates[len(c.Rates)-1] {
+			net.SetRecorder(opt.Trace)
+		}
 		var events []Event
 		if rate > 0 {
 			rng := rand.New(rand.NewSource(opt.Seed + faultSeedStride*int64(rate)))
@@ -212,7 +256,7 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 			last = e.At
 		}
 		inj.ApplyUntil(last)
-		makespan, err := c.Workload(w)
+		makespan, err := runW()
 		if err != nil {
 			return nil, fmt.Errorf("fault: app campaign %q at rate %d: %w", c.Name, rate, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"powermanna/internal/sim"
 	"powermanna/internal/stats"
 	"powermanna/internal/topo"
+	"powermanna/internal/trace"
 )
 
 // Campaign run defaults. A campaign is a pure function of (spec, Options),
@@ -54,6 +55,14 @@ type Campaign struct {
 	// attack only plane A, so failover always has a healthy plane and no
 	// message may be lost.
 	BothPlanes bool
+	// PerXbar adds a per-crossbar breakdown table (opened/blocked/stuck
+	// counters of every crossbar with activity) to the highest-rate row —
+	// the view that shows a central-stage fault radiating across clusters.
+	PerXbar bool
+	// DefaultTopology overrides the Options default (Cluster8) when the
+	// caller leaves Options.Topology nil — campaigns whose fault class
+	// needs structure Cluster8 lacks (a central stage) set it.
+	DefaultTopology func() *topo.Topology
 }
 
 // Campaigns lists the named campaigns in CLI order.
@@ -82,6 +91,14 @@ func Campaigns() []Campaign {
 			Description: "wedge plane-A link interfaces; the driver abandons the FIFO and fails over",
 			Kinds:       []Kind{NIStall},
 			Rates:       []int{0, 1, 2, 4},
+		},
+		{
+			Name:            "central-cut",
+			Description:     "sever central-stage crossbar wires on plane A; one cut degrades the routes of a whole 16-node cluster (System256)",
+			Kinds:           []Kind{CentralCut},
+			Rates:           []int{0, 2, 4, 8},
+			PerXbar:         true,
+			DefaultTopology: topo.System256,
 		},
 		{
 			Name:        "mixed",
@@ -116,6 +133,10 @@ type Options struct {
 	// Window is the simulated span traffic spreads over; zero means
 	// DefaultWindow.
 	Window sim.Time
+	// Trace, when non-nil, records the highest-rate row's run (network
+	// sends, circuit holds, failover attempts) into the recorder — the
+	// hook cmd/pmtrace uses to turn a campaign into a timeline.
+	Trace *trace.Recorder
 }
 
 func (o Options) resolved() Options {
@@ -169,6 +190,9 @@ type Result struct {
 	// PlaneA and PlaneB are the highest-rate row's degraded-mode
 	// counters.
 	PlaneA, PlaneB stats.CounterSet
+	// Xbars is the highest-rate row's per-crossbar breakdown (campaigns
+	// with PerXbar set; nil otherwise).
+	Xbars *stats.Table
 }
 
 // message is one unit of generated traffic.
@@ -204,10 +228,18 @@ func traffic(t *topo.Topology, opt Options, rng *rand.Rand) []message {
 func schedule(c Campaign, t *topo.Topology, count int, window sim.Time, rng *rand.Rand) []Event {
 	planes := t.CrossbarPlanes()
 	// Crossbar ordinals per plane, ascending — deterministic target pools.
-	var pool [2][]int
+	// central holds the same split restricted to central-stage crossbars.
+	var pool, central [2][]int
+	isCentral := map[int]bool{}
+	for _, xi := range t.CentralCrossbars() {
+		isCentral[xi] = true
+	}
 	for xi, p := range planes {
 		if p == topo.NetworkA || p == topo.NetworkB {
 			pool[p] = append(pool[p], xi)
+			if isCentral[xi] {
+				central[p] = append(central[p], xi)
+			}
 		}
 	}
 	events := make([]Event, 0, count)
@@ -236,6 +268,13 @@ func schedule(c Campaign, t *topo.Topology, count int, window sim.Time, rng *ran
 			wired := t.WiredPorts(e.Xbar)
 			e.Out = wired[rng.Intn(len(wired))]
 			e.Until = window * stuckOutlast
+		case CentralCut:
+			if len(central[plane]) == 0 {
+				continue // no central stage on this plane; drop the event
+			}
+			e.Xbar = central[plane][rng.Intn(len(central[plane]))]
+			wired := t.WiredPorts(e.Xbar)
+			e.Out = wired[rng.Intn(len(wired))]
 		}
 		events = append(events, e)
 	}
@@ -250,6 +289,9 @@ func schedule(c Campaign, t *topo.Topology, count int, window sim.Time, rng *ran
 // degradation row. Deterministic: same spec and options, byte-identical
 // Result.
 func Run(c Campaign, opt Options) (*Result, error) {
+	if opt.Topology == nil && c.DefaultTopology != nil {
+		opt.Topology = c.DefaultTopology()
+	}
 	opt = opt.resolved()
 	if len(c.Rates) == 0 || len(c.Kinds) == 0 {
 		return nil, fmt.Errorf("fault: campaign %q has no rates or kinds", c.Name)
@@ -258,6 +300,11 @@ func Run(c Campaign, opt Options) (*Result, error) {
 	cfg := netsim.DefaultFailover()
 	for _, rate := range c.Rates {
 		net := netsim.New(opt.Topology)
+		if opt.Trace != nil && rate == c.Rates[len(c.Rates)-1] {
+			// Only the highest-rate (most interesting) row is traced; the
+			// earlier sweep rows would bury it in identical fault-free spans.
+			net.SetRecorder(opt.Trace)
+		}
 		tps := make([]*netsim.Transport, opt.Topology.Nodes())
 		for i := range tps {
 			tps[i] = net.MustTransport(i, cfg)
@@ -299,8 +346,43 @@ func Run(c Campaign, opt Options) (*Result, error) {
 		res.Schedule = inj.Events()
 		res.PlaneA = net.PlaneCounterSet(topo.NetworkA)
 		res.PlaneB = net.PlaneCounterSet(topo.NetworkB)
+		if c.PerXbar {
+			res.Xbars = xbarTable(net, opt.Topology)
+		}
 	}
 	return res, nil
+}
+
+// xbarTable builds the per-crossbar breakdown of one run: every crossbar
+// that saw activity, with its plane and opened/blocked/stuck counters.
+func xbarTable(net *netsim.Network, t *topo.Topology) *stats.Table {
+	planes := t.CrossbarPlanes()
+	tbl := &stats.Table{
+		Title:   "per-crossbar breakdown (highest-rate row)",
+		Columns: []string{"xbar", "name", "plane", "opened", "blocked", "stuck"},
+	}
+	for i := 0; i < t.Crossbars(); i++ {
+		st := net.Crossbar(i).Stats()
+		if st.Opened == 0 && st.Blocked == 0 && st.Stuck == 0 {
+			continue
+		}
+		plane := "-"
+		switch planes[i] {
+		case topo.NetworkA:
+			plane = "A"
+		case topo.NetworkB:
+			plane = "B"
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", i),
+			t.CrossbarName(i),
+			plane,
+			fmt.Sprintf("%d", st.Opened),
+			fmt.Sprintf("%d", st.Blocked),
+			fmt.Sprintf("%d", st.Stuck),
+		)
+	}
+	return tbl
 }
 
 // baseline returns the fault-free mean latency once its row exists.
@@ -353,5 +435,9 @@ func (r *Result) Render() string {
 	b.WriteByte('\n')
 	b.WriteString(r.PlaneA.Render())
 	b.WriteString(r.PlaneB.Render())
+	if r.Xbars != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.Xbars.Render())
+	}
 	return b.String()
 }

@@ -46,6 +46,10 @@ const (
 	FlitCorrupt
 	// NIStall blocks a node's link interface from accepting sends.
 	NIStall
+	// CentralCut severs a wire leaving a central-stage crossbar — a
+	// fault that hits no single node's uplink but degrades the routes of
+	// every cluster behind the stage.
+	CentralCut
 )
 
 // String names the kind as campaigns spell it.
@@ -59,6 +63,8 @@ func (k Kind) String() string {
 		return "flit-corrupt"
 	case NIStall:
 		return "ni-stall"
+	case CentralCut:
+		return "central-cut"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -86,6 +92,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%-12s at=%-14v plane=%d node=%d", e.Kind, e.At, e.Plane, e.Node)
 	case XbarStuck:
 		return fmt.Sprintf("%-12s at=%-14v until=%v plane=%d xbar=%d out=%d", e.Kind, e.At, e.Until, e.Plane, e.Xbar, e.Out)
+	case CentralCut:
+		return fmt.Sprintf("%-12s at=%-14v plane=%d xbar=%d out=%d", e.Kind, e.At, e.Plane, e.Xbar, e.Out)
 	default:
 		return fmt.Sprintf("%-12s at=%-14v until=%v plane=%d node=%d", e.Kind, e.At, e.Until, e.Plane, e.Node)
 	}
@@ -132,6 +140,10 @@ func (in *Injector) apply(e Event) {
 	switch e.Kind {
 	case LinkCut:
 		in.net.CutWire(e.Node, e.Plane, e.At)
+	case CentralCut:
+		// Crossbar devices follow the nodes in the topology's device
+		// numbering; the cut severs the wire leaving (crossbar, out).
+		in.net.CutWire(in.net.Topology().Nodes()+e.Xbar, e.Out, e.At)
 	case FlitCorrupt:
 		in.net.CorruptWire(e.Node, e.Plane, e.At, e.Until)
 	case XbarStuck:

@@ -162,8 +162,19 @@ func TestAppCampaignDegradation(t *testing.T) {
 				t.Errorf("baseline row = %+v, want fault-free", base)
 			}
 			last := r.Rows[len(r.Rows)-1]
-			if last.Inflation <= 1 {
-				t.Errorf("highest rate inflation = %.3f, want > 1", last.Inflation)
+			if c.EarthWorkload == nil {
+				// Message-passing workloads block on every receive, so
+				// detection windows land on the critical path.
+				if last.Inflation <= 1 {
+					t.Errorf("highest rate inflation = %.3f, want > 1", last.Inflation)
+				}
+			} else if last.Inflation < 1 {
+				// EARTH's split-phase tokens overlap communication with the
+				// EU's fiber backlog: failover windows are absorbed off the
+				// critical path, so the makespan may not inflate at all —
+				// the latency-tolerance property of [18]. The failover
+				// counters below still prove the faults were felt.
+				t.Errorf("highest rate inflation = %.3f, below baseline", last.Inflation)
 			}
 			for i, row := range r.Rows {
 				if row.Inflation < 1 {

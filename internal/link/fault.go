@@ -43,6 +43,9 @@ func (w *Wire) CutAt(t sim.Time) {
 	}
 	w.faults.cut = t
 	w.faults.cutSet = true
+	if w.rec.Enabled() {
+		w.rec.Instant(w.track, "fault", "cut", t)
+	}
 }
 
 // CutTime reports when the wire was severed and whether it was cut at all.
@@ -58,6 +61,9 @@ func (w *Wire) CorruptBetween(from, until sim.Time) {
 		return
 	}
 	w.faults.corrupt = append(w.faults.corrupt, corruptWindow{from: from, until: until})
+	if w.rec.Enabled() {
+		w.rec.Span(w.track, "fault", "corrupt-window", from, until)
+	}
 }
 
 // CorruptedIn reports whether any scheduled corruption window overlaps the

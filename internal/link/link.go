@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"powermanna/internal/sim"
+	"powermanna/internal/trace"
 )
 
 // Config describes one link direction.
@@ -87,6 +88,10 @@ type Wire struct {
 	res    sim.Resource
 	sent   int64
 	faults wireFaults
+	// rec, when non-nil, records occupancy spans and fault instants on
+	// track (trace.WireTrack of the owning network position).
+	rec   *trace.Recorder
+	track trace.TrackID
 }
 
 // NewWire builds a wire. It panics on invalid configuration.
@@ -99,6 +104,13 @@ func NewWire(cfg Config) *Wire {
 
 // Config returns the wire's configuration.
 func (w *Wire) Config() Config { return w.cfg }
+
+// Trace attaches a recorder to the wire under the given track identity;
+// a nil recorder detaches. Occupancy holds and injected faults are then
+// recorded as trace events.
+func (w *Wire) Trace(rec *trace.Recorder, track trace.TrackID) {
+	w.rec, w.track = rec, track
+}
 
 // Send schedules n bytes onto the wire no earlier than at, returning when
 // the first and last byte arrive at the far end.
@@ -122,6 +134,9 @@ func (w *Wire) Hold(start, until sim.Time, n int) {
 	}
 	w.res.Acquire(start, until-start)
 	w.sent += int64(n)
+	if w.rec.Enabled() {
+		w.rec.Span(w.track, "link", "hold", start, until)
+	}
 }
 
 // BytesSent reports the cumulative traffic.

@@ -288,3 +288,43 @@ func TestBarrierRepeatedRounds(t *testing.T) {
 		t.Error("no time elapsed")
 	}
 }
+
+// TestSendTracingOffAddsNoAllocs pins the nil-Recorder contract on the
+// benchmark path: with no recorder attached, the trace instrumentation
+// must cost nothing — the steady-state Send/Recv pair stays at the
+// pre-trace allocation budget (9 allocs/op measured on
+// BenchmarkSendSystem256 before internal/trace existed).
+func TestSendTracingOffAddsNoAllocs(t *testing.T) {
+	w := NewWorld(topo.System256())
+	if w.Network().Recorder() != nil {
+		t.Fatal("fresh world has a recorder attached; tracing must default to off")
+	}
+	payload := make([]byte, 256)
+	// Warm the per-rank route caches over the full (src, dst) cycle so
+	// the measured runs see only the steady-state path.
+	for i := 0; i < w.Ranks(); i++ {
+		src := i % w.Ranks()
+		dst := (src + 61) % w.Ranks()
+		if err := w.Send(src, dst, i, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Recv(dst, src, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := w.Ranks()
+	allocs := testing.AllocsPerRun(200, func() {
+		src := i % w.Ranks()
+		dst := (src + 61) % w.Ranks()
+		if err := w.Send(src, dst, i, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Recv(dst, src, i); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 9 {
+		t.Errorf("Send/Recv with tracing off = %.1f allocs/op, want <= 9 (pre-trace baseline)", allocs)
+	}
+}

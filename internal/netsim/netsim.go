@@ -25,6 +25,7 @@ import (
 	"powermanna/internal/ni"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
+	"powermanna/internal/trace"
 	"powermanna/internal/xbar"
 )
 
@@ -48,6 +49,13 @@ type Network struct {
 	// os is the optional background system-software stream on plane B
 	// (osstream.go); nil when no stream is attached.
 	os *osStream
+	// rec, when non-nil, records the timeline of every send: message
+	// spans per source node, circuit holds per crossbar output and wire,
+	// failover attempts per transport. Attached via SetRecorder.
+	rec *trace.Recorder
+	// osSending marks sends issued by the background OS stream so their
+	// message spans land on the OS track instead of a node track.
+	osSending bool
 }
 
 type wireKey struct {
@@ -92,10 +100,30 @@ func (n *Network) wire(dev, port, dir int) *link.Wire {
 	w, ok := n.wires[k]
 	if !ok {
 		w = link.NewWire(n.linkCfg)
+		if n.rec.Enabled() {
+			w.Trace(n.rec, trace.WireTrack(k.dev, k.port, k.dir))
+		}
 		n.wires[k] = w
 	}
 	return w
 }
+
+// SetRecorder attaches a trace recorder to the network: every crossbar
+// and wire (existing and lazily created) records circuit occupancy, and
+// Send records per-message spans. A nil recorder detaches everything —
+// the default state, costing instrumented paths one nil check.
+func (n *Network) SetRecorder(r *trace.Recorder) {
+	n.rec = r
+	for i, x := range n.xbars {
+		x.Trace(r, i)
+	}
+	for k, w := range n.wires {
+		w.Trace(r, trace.WireTrack(k.dev, k.port, k.dir))
+	}
+}
+
+// Recorder returns the attached trace recorder (nil when tracing is off).
+func (n *Network) Recorder() *trace.Recorder { return n.rec }
 
 // Transit describes the timing of one message.
 type Transit struct {
@@ -267,6 +295,19 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 	for _, c := range hopClaims {
 		c.x.HoldOutput(c.requested, c.start, last, c.out)
 	}
+	if n.rec.Enabled() {
+		track, cat := trace.NodeTrack(path.Src), "netsim"
+		if n.osSending {
+			track, cat = trace.OSTrack(), "os"
+		}
+		n.rec.SpanArg(track, cat, "msg", at, last,
+			fmt.Sprintf("%d->%d plane %s, %dB", path.Src, path.Dst, planeName(path.Network), payloadBytes))
+		n.rec.Span(track, cat, "setup", at, head)
+		n.rec.Span(track, cat, "stream", head, last)
+		if corrupted {
+			n.rec.Instant(track, cat, "crc-corrupt", last)
+		}
+	}
 	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes, Corrupted: corrupted}, nil
 }
 
@@ -291,7 +332,6 @@ func (n *Network) Reset() {
 		t.resetFaultState()
 	}
 	if n.os != nil {
-		n.os.next = n.os.cfg.Start
-		n.os.idx = 0
+		n.os.rearm()
 	}
 }

@@ -10,6 +10,18 @@
 // its circuits like any other send, so application retries queue behind
 // it exactly where the hardware would make them queue.
 //
+// Two schedules exist:
+//
+//   - the fixed train: one small message every Interval — steady kernel
+//     bookkeeping traffic;
+//   - the bursty schedule (Bursty): the same timer-tick train plus a
+//     periodic page-daemon burst — every BurstEvery, a run of
+//     BurstMessages back-to-back BurstBytes-sized messages from a
+//     seed-chosen node, jittered within one tick interval. The burst
+//     start and source are a pure function of (Seed, burst ordinal), so
+//     the schedule is deterministic per seed with no math/rand in the
+//     simulation core.
+//
 // The stream is advanced lazily: before each reliable-send attempt the
 // transport injects every OS message whose entry time has passed. The
 // injection order is therefore a pure function of the send sequence, and
@@ -17,8 +29,10 @@
 package netsim
 
 import (
+	"powermanna/internal/link"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
+	"powermanna/internal/trace"
 )
 
 // Default OS-stream parameters: a steady control-message load that
@@ -30,6 +44,14 @@ const (
 	// DefaultOSBytes is the OS message payload (kernel bookkeeping
 	// traffic: scheduling tokens, page metadata — small messages).
 	DefaultOSBytes = 128
+	// DefaultBurstEvery spaces the page-daemon bursts of the bursty
+	// schedule.
+	DefaultBurstEvery = 100 * sim.Microsecond
+	// DefaultBurstMessages is the burst length in messages.
+	DefaultBurstMessages = 6
+	// DefaultBurstBytes is the payload of each burst message (page-sized
+	// transfers, much larger than the timer ticks).
+	DefaultBurstBytes = 1024
 )
 
 // OSStreamConfig describes the background system-software load on plane
@@ -41,6 +63,18 @@ type OSStreamConfig struct {
 	Bytes int
 	// Start delays the first OS message.
 	Start sim.Time
+	// Bursty layers periodic page-daemon bursts over the timer-tick
+	// train. The remaining fields apply only when set.
+	Bursty bool
+	// Seed positions each burst (start jitter and source node)
+	// deterministically; same seed, same schedule.
+	Seed int64
+	// BurstEvery spaces the bursts.
+	BurstEvery sim.Time
+	// BurstMessages is the number of back-to-back messages per burst.
+	BurstMessages int
+	// BurstBytes is the payload of each burst message.
+	BurstBytes int
 }
 
 // DefaultOSStream returns the calibrated background load.
@@ -48,11 +82,29 @@ func DefaultOSStream() OSStreamConfig {
 	return OSStreamConfig{Interval: DefaultOSInterval, Bytes: DefaultOSBytes}
 }
 
+// BurstyOSStream returns the bursty schedule: the default timer-tick
+// train plus seed-positioned page-daemon bursts.
+func BurstyOSStream(seed int64) OSStreamConfig {
+	cfg := DefaultOSStream()
+	cfg.Bursty = true
+	cfg.Seed = seed
+	cfg.BurstEvery = DefaultBurstEvery
+	cfg.BurstMessages = DefaultBurstMessages
+	cfg.BurstBytes = DefaultBurstBytes
+	return cfg
+}
+
 // osStream is the lazily-advanced injection state.
 type osStream struct {
 	cfg  OSStreamConfig
 	next sim.Time
 	idx  int64
+	// Burst state: the current burst's next message time, messages left,
+	// chosen source, and the ordinal of the next burst to arm.
+	burstAt   sim.Time
+	burstLeft int
+	burstSrc  int
+	burstK    int64
 }
 
 // AttachOSStream starts a background OS stream on plane B. Attaching
@@ -66,17 +118,70 @@ func (n *Network) AttachOSStream(cfg OSStreamConfig) {
 	if cfg.Bytes <= 0 {
 		cfg.Bytes = DefaultOSBytes
 	}
-	n.os = &osStream{cfg: cfg, next: cfg.Start}
+	if cfg.Bursty {
+		if cfg.BurstEvery <= 0 {
+			cfg.BurstEvery = DefaultBurstEvery
+		}
+		if cfg.BurstMessages <= 0 {
+			cfg.BurstMessages = DefaultBurstMessages
+		}
+		if cfg.BurstBytes <= 0 {
+			cfg.BurstBytes = DefaultBurstBytes
+		}
+	}
+	n.os = &osStream{cfg: cfg}
+	n.os.rearm()
 }
 
 // OSStreamAttached reports whether a background OS stream is active.
 func (n *Network) OSStreamAttached() bool { return n.os != nil }
 
+// rearm resets the stream to its start: tick train at Start, first burst
+// armed from ordinal zero.
+func (os *osStream) rearm() {
+	os.next = os.cfg.Start
+	os.idx = 0
+	os.burstK = 0
+	os.burstLeft = 0
+	if os.cfg.Bursty {
+		os.armBurst()
+	}
+}
+
+// armBurst positions burst number burstK: its start jitters within one
+// tick interval of the nominal k*BurstEvery mark and its source node
+// follows the seed, both via the same multiplicative xorshift mix the
+// topology uses for deterministic port shuffling (no math/rand in the
+// simulation core).
+func (os *osStream) armBurst() {
+	j := osJitter(os.cfg.Seed, os.burstK)
+	os.burstAt = os.cfg.Start + sim.Time(os.burstK)*os.cfg.BurstEvery + sim.Time(j%int64(os.cfg.Interval))
+	os.burstSrc = int(osJitter(os.cfg.Seed, os.burstK+1) >> 8)
+	os.burstLeft = os.cfg.BurstMessages
+	os.burstK++
+}
+
+// osJitter mixes (seed, k) into a non-negative pseudo-random value —
+// xorshift over a multiplicative hash, the same idiom as topo's port
+// shuffling.
+func osJitter(seed, k int64) int64 {
+	x := seed*2654435761 + k*1_000_003 + 1
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	if x < 0 {
+		x = -x
+	}
+	return x
+}
+
 // advanceOS injects every OS message whose entry time is at or before
-// now. Calls with a non-monotone now are no-ops for the earlier time, so
-// the injection sequence is a pure function of the reliable-send
-// sequence. Each message claims plane-B circuits through the ordinary
-// wormhole send; severed plane-B wires turn messages into drops.
+// now — timer ticks and, under the bursty schedule, page-daemon burst
+// messages, merged in time order. Calls with a non-monotone now are
+// no-ops for the earlier time, so the injection sequence is a pure
+// function of the reliable-send sequence. Each message claims plane-B
+// circuits through the ordinary wormhole send; severed plane-B wires
+// turn messages into drops.
 func (n *Network) advanceOS(now sim.Time) {
 	os := n.os
 	if os == nil {
@@ -87,24 +192,56 @@ func (n *Network) advanceOS(now sim.Time) {
 		return
 	}
 	pc := &n.planes[topo.NetworkB]
-	for os.next <= now {
+	for {
+		// The earliest pending event: the next timer tick, or the next
+		// burst message if it comes first.
+		at, bytes := os.next, os.cfg.Bytes
 		src := int(os.idx % int64(nodes))
+		burst := os.cfg.Bursty && os.burstLeft > 0 && os.burstAt < at
+		if burst {
+			at, bytes = os.burstAt, os.cfg.BurstBytes
+			src = os.burstSrc % nodes
+		}
+		if at > now {
+			return
+		}
+		if burst {
+			// Burst messages chain back-to-back at line rate; the next
+			// burst is armed once this one drains.
+			os.burstAt = at + sim.Time(bytes)*link.BytePeriod
+			os.burstLeft--
+			if os.burstLeft == 0 {
+				os.armBurst()
+			}
+		} else {
+			os.idx++
+			os.next += os.cfg.Interval
+		}
 		dst := (src + nodes/2) % nodes
 		if dst == src {
 			dst = (src + 1) % nodes
 		}
-		at := os.next
-		os.idx++
-		os.next += os.cfg.Interval
 		path, err := n.topo.Route(src, dst, topo.NetworkB)
 		if err != nil {
+			n.traceOSDrop(at)
 			pc.OSDropped++
 			continue
 		}
-		if _, err := n.send(at, path, os.cfg.Bytes, 0); err != nil {
+		n.osSending = true
+		_, err = n.send(at, path, bytes, 0)
+		n.osSending = false
+		if err != nil {
+			n.traceOSDrop(at)
 			pc.OSDropped++
 			continue
 		}
 		pc.OSMessages++
+	}
+}
+
+// traceOSDrop records a dropped OS message on the OS track.
+func (n *Network) traceOSDrop(at sim.Time) {
+	if n.rec.Enabled() {
+		n.rec.Instant(trace.OSTrack(), "os", "drop", at)
 	}
 }

@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+	"powermanna/internal/trace"
+)
+
+// osWindow is long enough for ~100 timer ticks and ~10 bursts.
+const osWindow = 1 * sim.Millisecond
+
+// TestBurstyOSStreamAddsBurstTraffic checks the bursty schedule is the
+// fixed train plus page-daemon bursts: strictly more messages over the
+// same window, with the extra count matching the burst arithmetic.
+func TestBurstyOSStreamAddsBurstTraffic(t *testing.T) {
+	fixed := New(topo.Cluster8())
+	fixed.AttachOSStream(DefaultOSStream())
+	fixed.advanceOS(osWindow)
+	fixedMsgs := fixed.Plane(topo.NetworkB).OSMessages
+
+	bursty := New(topo.Cluster8())
+	bursty.AttachOSStream(BurstyOSStream(1))
+	bursty.advanceOS(osWindow)
+	burstyMsgs := bursty.Plane(topo.NetworkB).OSMessages
+
+	if fixedMsgs == 0 {
+		t.Fatal("fixed train injected nothing")
+	}
+	if burstyMsgs <= fixedMsgs {
+		t.Errorf("bursty schedule injected %d messages, fixed train %d — no bursts seen",
+			burstyMsgs, fixedMsgs)
+	}
+	// ~10 bursts of DefaultBurstMessages ride on top of the tick train.
+	extra := burstyMsgs - fixedMsgs
+	if extra < DefaultBurstMessages || extra > 20*DefaultBurstMessages {
+		t.Errorf("burst surplus = %d messages, want a few bursts' worth", extra)
+	}
+}
+
+// TestBurstyOSStreamDeterministicPerSeed pins the determinism contract
+// at the strongest level available: the full recorded timeline of the
+// injected stream, exported to bytes, is identical for identical seeds
+// and differs across seeds.
+func TestBurstyOSStreamDeterministicPerSeed(t *testing.T) {
+	render := func(seed int64) string {
+		n := New(topo.Cluster8())
+		rec := trace.NewRecorder()
+		n.SetRecorder(rec)
+		n.AttachOSStream(BurstyOSStream(seed))
+		n.advanceOS(osWindow)
+		var b strings.Builder
+		if err := trace.WriteChrome(&b, rec); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(1) != render(1) {
+		t.Error("same seed produced different OS-stream timelines")
+	}
+	if render(1) == render(2) {
+		t.Error("seeds 1 and 2 produced identical OS-stream timelines")
+	}
+}
+
+// TestBurstyOSStreamResetRearms checks Network.Reset rewinds the burst
+// state too: a reset network re-renders the identical stream.
+func TestBurstyOSStreamResetRearms(t *testing.T) {
+	n := New(topo.Cluster8())
+	n.AttachOSStream(BurstyOSStream(7))
+	n.advanceOS(osWindow)
+	first := n.Plane(topo.NetworkB).OSMessages
+	n.Reset()
+	n.advanceOS(osWindow)
+	second := n.Plane(topo.NetworkB).OSMessages
+	if first == 0 || first != second {
+		t.Errorf("OS messages before/after Reset = %d/%d, want equal and nonzero", first, second)
+	}
+}
+
+// TestSendRecordsTraceSpans checks the network-level instrumentation:
+// a traced transport send produces message, setup and stream spans on
+// the source node's track plus circuit and wire occupancy spans.
+func TestSendRecordsTraceSpans(t *testing.T) {
+	n := New(topo.Cluster8())
+	rec := trace.NewRecorder()
+	n.SetRecorder(rec)
+	tp := n.MustTransport(0, DefaultFailover())
+	if _, err := tp.Send(0, 5, 256); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, e := range rec.Events() {
+		names[e.Cat+"/"+e.Name]++
+	}
+	for _, want := range []string{"netsim/msg", "netsim/setup", "netsim/stream", "xbar/circuit", "link/hold"} {
+		if names[want] == 0 {
+			t.Errorf("no %q event recorded; got %v", want, names)
+		}
+	}
+}
+
+// TestFailoverRecordsAttemptSpans checks a cut plane A leaves a labelled
+// failed-attempt span and, on the second send, a plane-down cache-hit
+// instant.
+func TestFailoverRecordsAttemptSpans(t *testing.T) {
+	n := New(topo.Cluster8())
+	rec := trace.NewRecorder()
+	n.SetRecorder(rec)
+	n.CutWire(0, topo.NetworkA, 0)
+	tp := n.MustTransport(0, DefaultFailover())
+	if _, err := tp.Send(0, 5, 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.Send(100*sim.Microsecond, 5, 256); err != nil {
+		t.Fatal(err)
+	}
+	var sawAttempt, sawHit bool
+	for _, e := range rec.Events() {
+		if e.Cat == "failover" && e.Name == "attempt A" && e.Arg == "link-down" {
+			sawAttempt = true
+		}
+		if e.Cat == "failover" && e.Name == "plane-down-hit" {
+			sawHit = true
+		}
+	}
+	if !sawAttempt {
+		t.Error("no link-down attempt span on plane A")
+	}
+	if !sawHit {
+		t.Error("no plane-down cache-hit instant on the second send")
+	}
+}

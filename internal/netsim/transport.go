@@ -32,6 +32,7 @@ import (
 	"powermanna/internal/ni"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
+	"powermanna/internal/trace"
 )
 
 // routeEntry caches one (dst, plane) route lookup outcome.
@@ -202,6 +203,10 @@ func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverCon
 			// detection window.
 			n.planes[plane].SkippedDown++
 			st.skipped = append(st.skipped, plane)
+			if n.rec.Enabled() {
+				n.rec.InstantArg(trace.NodeTrack(t.src), "failover", "plane-down-hit",
+					st.attemptAt(), "plane "+planeName(plane))
+			}
 			st.elapsed += cfg.PlaneDownCheck
 			continue
 		}
@@ -239,6 +244,10 @@ func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverCon
 			break // only hard-down or unwired planes remain
 		}
 	}
+	if n.rec.Enabled() {
+		n.rec.InstantArg(trace.NodeTrack(t.src), "failover", "send-failed", st.attemptAt(),
+			fmt.Sprintf("%d->%d after %d attempts", t.src, dst, st.attempts))
+	}
 	return Delivery{Attempts: st.attempts, SkippedDown: len(st.skipped), Failed: true, Sent: at, Done: st.attemptAt()}, nil
 }
 
@@ -257,6 +266,17 @@ type sendState struct {
 
 // attemptAt is the sender's clock for the next attempt.
 func (st *sendState) attemptAt() sim.Time { return st.at + st.elapsed }
+
+// traceAttempt records one failed plane attempt as a span from the
+// attempt's entry to when the driver detected the failure, labelled with
+// the cause ("fifo-stall", "link-down", "setup-timeout", "crc-nack").
+func (t *Transport) traceAttempt(plane int, from, detected sim.Time, cause string) {
+	if !t.net.rec.Enabled() {
+		return
+	}
+	t.net.rec.SpanArg(trace.NodeTrack(t.src), "failover", "attempt "+planeName(plane),
+		from, detected, cause)
+}
 
 // tryPlane runs one real attempt on a plane. final reports that the
 // protocol is over: delivery, or a non-protocol error. A false final
@@ -289,6 +309,7 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		pc.SetupTimeouts++
 		pc.FailedOver++
 		t.markDown(plane, attemptAt+cfg.SetupTimeout, cfg)
+		t.traceAttempt(plane, attemptAt, attemptAt+cfg.SetupTimeout, "fifo-stall")
 		st.elapsed += cfg.SetupTimeout + cfg.RetryBackoff
 		return Delivery{}, false, nil
 	}
@@ -298,9 +319,11 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		if !errorsAs(err, &down) {
 			return Delivery{}, true, err
 		}
+		cause := "setup-timeout"
 		if down.Cut {
 			pc.LinkDown++
 			st.hard[plane] = true
+			cause = "link-down"
 		} else {
 			pc.SetupTimeouts++
 		}
@@ -309,6 +332,7 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		// acknowledgment timeout, wherever the fault sits.
 		detected := entry + cfg.AckTimeout
 		t.markDown(plane, detected, cfg)
+		t.traceAttempt(plane, attemptAt, detected, cause)
 		st.elapsed = detected + cfg.RetryBackoff - st.at
 		return Delivery{}, false, nil
 	}
@@ -318,6 +342,7 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		pc.FailedOver++
 		detected := tr.LastByte + cfg.NackLatency
 		t.markDown(plane, detected, cfg)
+		t.traceAttempt(plane, attemptAt, detected, "crc-nack")
 		st.elapsed = detected + cfg.RetryBackoff - st.at
 		return Delivery{}, false, nil
 	}

@@ -43,6 +43,31 @@ func (t *Topology) CrossbarPlanes() []int {
 	return planes
 }
 
+// CentralCrossbars lists the crossbars wired only to other crossbars —
+// the central switching stage of a hierarchical topology (the middle
+// 16×16 stage of System256's Clos-like fabric), in ascending ordinal
+// order. A fault there hits no single node's uplink but degrades the
+// routes of every cluster the stage connects; leaf crossbars and
+// unwired ordinals are excluded.
+func (t *Topology) CentralCrossbars() []int {
+	var central []int
+	for i := range t.xbarName {
+		wired, node := false, false
+		for p := 0; p < xbar.Ports; p++ {
+			if e, ok := t.adj[port{t.nodes + i, p}]; ok {
+				wired = true
+				if t.isNode(e.peerDev) {
+					node = true
+				}
+			}
+		}
+		if wired && !node {
+			central = append(central, i)
+		}
+	}
+	return central
+}
+
 // WiredPorts lists the wired ports of crossbar ordinal i in ascending
 // order — the ports where a stuck-busy fault actually obstructs traffic.
 func (t *Topology) WiredPorts(i int) []int {

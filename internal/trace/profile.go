@@ -1,0 +1,138 @@
+// Plain-text profile export: the recorded spans aggregated per track and
+// name into total and self time, rendered as a fixed-width table — the
+// "where did the time go" view for a terminal, complementing the Chrome
+// timeline. Self time subtracts the durations of spans strictly nested
+// inside a span on the same track (flame-graph accounting), so a "msg"
+// span's self time excludes its "setup" child.
+
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+)
+
+// DefaultProfileTopN bounds the per-track rows of the text profile.
+const DefaultProfileTopN = 5
+
+// profLine is one (track, name) aggregate of the profile.
+type profLine struct {
+	track       TrackID
+	name        string
+	count       int
+	total, self sim.Time
+}
+
+// WriteProfile writes a per-track top-N profile of the recorder's spans:
+// for every track, the topN span names by total time, with count, total,
+// self and mean columns. topN <= 0 selects DefaultProfileTopN. Output is
+// a pure function of the recorded events.
+func WriteProfile(w io.Writer, r *Recorder, topN int) error {
+	if topN <= 0 {
+		topN = DefaultProfileTopN
+	}
+	events := r.Events()
+
+	// Group span indices per track, keeping insertion order.
+	byTrack := map[TrackID][]int{}
+	spans, instants := 0, 0
+	for i, e := range events {
+		if e.Kind != SpanEvent {
+			instants++
+			continue
+		}
+		spans++
+		byTrack[e.Track] = append(byTrack[e.Track], i)
+	}
+	tracks := make([]TrackID, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+
+	tbl := &stats.Table{
+		Title:   fmt.Sprintf("trace profile — top %d span names per track (%d spans, %d instants)", topN, spans, instants),
+		Columns: []string{"track", "name", "count", "total-us", "self-us", "mean-us"},
+	}
+	for _, t := range tracks {
+		for _, ln := range topLines(events, byTrack[t], topN) {
+			tbl.AddRow(
+				ln.track.Name(),
+				ln.name,
+				fmt.Sprintf("%d", ln.count),
+				fmt.Sprintf("%.3f", ln.total.Micros()),
+				fmt.Sprintf("%.3f", ln.self.Micros()),
+				fmt.Sprintf("%.3f", (ln.total/sim.Time(ln.count)).Micros()),
+			)
+		}
+	}
+	_, err := io.WriteString(w, tbl.Render())
+	return err
+}
+
+// topLines aggregates one track's spans by name with flame-graph self
+// time, returning the topN lines by total time (ties broken by name).
+func topLines(events []Event, idxs []int, topN int) []profLine {
+	// Sort spans by (start asc, end desc, insertion asc): a parent sorts
+	// before the spans it contains, so a stack walk finds nesting.
+	sorted := make([]int, len(idxs))
+	copy(sorted, idxs)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		ea, eb := events[sorted[a]], events[sorted[b]]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		return ea.End > eb.End
+	})
+
+	self := map[int]sim.Time{}
+	var stack []int
+	for _, i := range sorted {
+		e := events[i]
+		for len(stack) > 0 && events[stack[len(stack)-1]].End <= e.Start {
+			stack = stack[:len(stack)-1]
+		}
+		self[i] = e.End - e.Start
+		if len(stack) > 0 {
+			p := stack[len(stack)-1]
+			if e.End <= events[p].End {
+				// Strictly nested: the child's time is not the parent's own.
+				self[p] -= e.End - e.Start
+			}
+		}
+		stack = append(stack, i)
+	}
+
+	agg := map[string]*profLine{}
+	var names []string
+	for _, i := range idxs {
+		e := events[i]
+		ln, ok := agg[e.Name]
+		if !ok {
+			ln = &profLine{track: e.Track, name: e.Name}
+			agg[e.Name] = ln
+			names = append(names, e.Name)
+		}
+		ln.count++
+		ln.total += e.End - e.Start
+		ln.self += self[i]
+	}
+	lines := make([]profLine, 0, len(names))
+	for _, n := range names {
+		lines = append(lines, *agg[n])
+	}
+	sort.SliceStable(lines, func(a, b int) bool {
+		if lines[a].total != lines[b].total {
+			return lines[a].total > lines[b].total
+		}
+		return lines[a].name < lines[b].name
+	})
+	if len(lines) > topN {
+		lines = lines[:topN]
+	}
+	return lines
+}

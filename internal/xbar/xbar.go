@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"powermanna/internal/sim"
+	"powermanna/internal/trace"
 )
 
 // Ports is the crossbar radix.
@@ -39,6 +40,10 @@ type Crossbar struct {
 	opened  int64
 	blocked int64 // connections that waited on a busy output
 	stuck   int64 // injected stuck-busy fault windows (internal/fault)
+	// rec, when non-nil, records per-output circuit and arbitration spans
+	// under XbarPortTrack(ordinal, out).
+	rec     *trace.Recorder
+	ordinal int
 }
 
 // New builds a crossbar.
@@ -46,6 +51,13 @@ func New(name string) *Crossbar { return &Crossbar{name: name} }
 
 // Name returns the crossbar's label.
 func (x *Crossbar) Name() string { return x.name }
+
+// Trace attaches a recorder under the given crossbar ordinal (its index
+// in the owning network); a nil recorder detaches. Circuit holds,
+// arbitration waits and injected stuck windows are then recorded.
+func (x *Crossbar) Trace(rec *trace.Recorder, ordinal int) {
+	x.rec, x.ordinal = rec, ordinal
+}
 
 // DecodeRoute interprets a route command byte as an output channel.
 // The crossbar consumes this byte from the header.
@@ -79,7 +91,21 @@ func (x *Crossbar) Connect(at sim.Time, out int, hold sim.Time) (setup sim.Time)
 		x.blocked++
 	}
 	x.opened++
+	x.traceHold(at, start, start+RouteSetup+hold, out)
 	return start + RouteSetup
+}
+
+// traceHold records one circuit's arbitration wait (if any) and its
+// output-channel occupancy on the port's track.
+func (x *Crossbar) traceHold(requested, start, until sim.Time, out int) {
+	if !x.rec.Enabled() {
+		return
+	}
+	track := trace.XbarPortTrack(x.ordinal, out)
+	if start > requested {
+		x.rec.Span(track, "xbar", "arb-wait", requested, start)
+	}
+	x.rec.Span(track, "xbar", "circuit", start, until)
 }
 
 // OutputFreeAt reports when output channel out next becomes free — used
@@ -109,6 +135,7 @@ func (x *Crossbar) HoldOutput(requested, start, until sim.Time, out int) {
 		x.blocked++
 	}
 	x.opened++
+	x.traceHold(requested, start, until, out)
 }
 
 // StickOutput injects a stuck-busy fault: output channel out is forced
@@ -128,6 +155,9 @@ func (x *Crossbar) StickOutput(out int, from, until sim.Time) {
 	}
 	x.outputs[out].Acquire(from, until-from)
 	x.stuck++
+	if x.rec.Enabled() {
+		x.rec.Span(trace.XbarPortTrack(x.ordinal, out), "fault", "stuck", from, until)
+	}
 }
 
 // Stats reports connection counts.

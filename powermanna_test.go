@@ -121,7 +121,10 @@ func TestFacadeHeatAndEarth(t *testing.T) {
 		t.Errorf("heat: %v %v", res.Ranks, err)
 	}
 	es := powermanna.NewEarth(powermanna.Cluster8(), powermanna.DefaultEarthParams())
-	v, _ := powermanna.RunEarthFib(es, 10)
+	v, _, err := powermanna.RunEarthFib(es, 10)
+	if err != nil {
+		t.Fatalf("fib: %v", err)
+	}
 	if v != 55 {
 		t.Errorf("fib(10) = %d", v)
 	}
