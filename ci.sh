@@ -50,6 +50,20 @@ for campaign in link-cut heat-linkcut central-cut; do
         exit 1
     fi
 done
+# An application campaign at System256 scale, and the --metrics dump
+# (counters and histograms must be as reproducible as the tables).
+"$bindir/pmfault" --campaign heat-linkcut --topo system256 --seed 1 > "$bindir/pmfault.out"
+if ! cmp -s testdata/pmfault_heat-linkcut_system256_seed1.golden "$bindir/pmfault.out"; then
+    echo "pmfault System256 output diverged from testdata/pmfault_heat-linkcut_system256_seed1.golden:" >&2
+    diff testdata/pmfault_heat-linkcut_system256_seed1.golden "$bindir/pmfault.out" >&2 || true
+    exit 1
+fi
+"$bindir/pmfault" --campaign link-cut --seed 1 --metrics > "$bindir/pmfault.out"
+if ! cmp -s testdata/pmfault_link-cut_metrics_seed1.golden "$bindir/pmfault.out"; then
+    echo "pmfault --metrics output diverged from testdata/pmfault_link-cut_metrics_seed1.golden:" >&2
+    diff testdata/pmfault_link-cut_metrics_seed1.golden "$bindir/pmfault.out" >&2 || true
+    exit 1
+fi
 
 echo "== pmtrace smoke exports =="
 # A comm workload and a fault campaign, traced with a fixed seed; the
@@ -63,6 +77,29 @@ fi
 "$bindir/pmtrace" --campaign link-cut --seed 1 --messages 60 > "$bindir/pmtrace.out"
 if ! cmp -s "testdata/pmtrace_link-cut_seed1.golden" "$bindir/pmtrace.out"; then
     echo "pmtrace link-cut output diverged from testdata/pmtrace_link-cut_seed1.golden" >&2
+    exit 1
+fi
+
+echo "== pmtrace analytics =="
+# The analysis formats share the determinism contract with the exports:
+# a utilization series and a two-seed diff, pinned byte for byte.
+"$bindir/pmtrace" --run pingpong --format utilization --seed 1 > "$bindir/pmtrace.out"
+if ! cmp -s testdata/pmtrace_pingpong_utilization_seed1.golden "$bindir/pmtrace.out"; then
+    echo "pmtrace utilization output diverged from testdata/pmtrace_pingpong_utilization_seed1.golden" >&2
+    diff testdata/pmtrace_pingpong_utilization_seed1.golden "$bindir/pmtrace.out" >&2 || true
+    exit 1
+fi
+"$bindir/pmtrace" --run pingpong --format diff --seed 1 --seed2 2 > "$bindir/pmtrace.out"
+if ! cmp -s testdata/pmtrace_pingpong_diff_seed1_seed2.golden "$bindir/pmtrace.out"; then
+    echo "pmtrace diff output diverged from testdata/pmtrace_pingpong_diff_seed1_seed2.golden" >&2
+    diff testdata/pmtrace_pingpong_diff_seed1_seed2.golden "$bindir/pmtrace.out" >&2 || true
+    exit 1
+fi
+# A same-seed diff must report a clean alignment.
+"$bindir/pmtrace" --run pingpong --format diff --seed 1 --seed2 1 > "$bindir/pmtrace.out"
+if ! grep -q "timelines identical" "$bindir/pmtrace.out"; then
+    echo "pmtrace same-seed diff reported divergence:" >&2
+    cat "$bindir/pmtrace.out" >&2
     exit 1
 fi
 

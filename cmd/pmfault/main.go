@@ -16,7 +16,13 @@
 //	pmfault --campaign link-cut --seed 1
 //	pmfault --campaign heat-linkcut --seed 1
 //	pmfault --campaign mixed --topo system256 --messages 800
+//	pmfault --campaign link-cut --metrics
 //	pmfault --list
+//
+// --metrics appends the highest-rate row's deterministic metrics dump
+// (internal/metrics): send outcome counters, latency and detection
+// histograms, crossbar arbitration waits, and for EARTH workloads the
+// runtime's token instruments.
 //
 // stdout is a pure function of the flags: two runs with identical flags
 // are byte-identical. CI pins `--campaign link-cut --seed 1` and
@@ -29,9 +35,19 @@ import (
 	"os"
 
 	"powermanna/internal/fault"
+	"powermanna/internal/metrics"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 )
+
+// printMetrics appends the registry dump to the campaign output;
+// a nil registry (no --metrics) prints nothing.
+func printMetrics(reg *metrics.Registry) {
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(reg.Render())
+	}
+}
 
 func main() {
 	var (
@@ -41,6 +57,7 @@ func main() {
 		messages     = flag.Int("messages", fault.DefaultMessages, "messages per degradation row")
 		payload      = flag.Int("payload", fault.DefaultPayloadBytes, "payload bytes per message")
 		windowUS     = flag.Int64("window-us", int64(fault.DefaultWindow/sim.Microsecond), "simulated span in microseconds traffic spreads over")
+		metricsFlag  = flag.Bool("metrics", false, "append the highest-rate row's metrics dump (latency/detection histograms, send outcomes, arb waits)")
 		listOnly     = flag.Bool("list", false, "list campaign names and exit")
 	)
 	flag.Parse()
@@ -82,6 +99,11 @@ func main() {
 		PayloadBytes: *payload,
 		Window:       sim.Time(*windowUS) * sim.Microsecond,
 	}
+	var reg *metrics.Registry
+	if *metricsFlag {
+		reg = metrics.NewRegistry()
+		opt.Metrics = reg
+	}
 
 	if c, ok := fault.CampaignByName(*campaignFlag); ok {
 		res, err := fault.Run(c, opt)
@@ -90,6 +112,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(res.Render())
+		printMetrics(reg)
 		return
 	}
 	if c, ok := fault.AppCampaignByName(*campaignFlag); ok {
@@ -99,6 +122,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(res.Render())
+		printMetrics(reg)
 		return
 	}
 	fmt.Fprintf(os.Stderr, "pmfault: unknown campaign %q (try --list)\n", *campaignFlag)

@@ -20,12 +20,23 @@
 // the timeline shows failover attempts, plane-down cache hits and
 // stuck-output spans next to the traffic that felt them.
 //
+// Beyond export, pmtrace analyzes the recording in place (--format
+// utilization, critpath) and compares two seeded runs (--format diff
+// reruns the same workload under --seed2 and aligns the timelines):
+// per-track busy-fraction series, the longest dependency chain bounding
+// the makespan, and the shifted/added/removed events plus utilization
+// deltas between the runs.
+//
 // Usage:
 //
 //	pmtrace --run pingpong --seed 1 > trace.json
 //	pmtrace --run fib --format profile
+//	pmtrace --run pingpong --format utilization --window-us 20
+//	pmtrace --run pingpong --format critpath
+//	pmtrace --run pingpong --format diff --seed 1 --seed2 2
 //	pmtrace --campaign link-cut --seed 1 --messages 60 > fault.json
 //	pmtrace --campaign central-cut --format profile
+//	pmtrace --campaign heat-linkcut --format diff
 package main
 
 import (
@@ -53,11 +64,13 @@ func main() {
 	var (
 		runFlag      = flag.String("run", "pingpong", "workload: pingpong, fib or dispatch")
 		campaignFlag = flag.String("campaign", "", "trace a fault campaign's highest rate instead of --run (see pmfault --list)")
-		formatFlag   = flag.String("format", "chrome", "output format: chrome or profile")
+		formatFlag   = flag.String("format", "chrome", "output format: chrome, profile, utilization, critpath or diff")
 		seed         = flag.Int64("seed", 1, "seed for workload schedule and fault placement")
+		seed2        = flag.Int64("seed2", 2, "second seed for --format diff (the B run)")
 		topoFlag     = flag.String("topo", "", "topology: cluster8 or system256 (default per workload)")
 		messages     = flag.Int("messages", 0, "messages per campaign row or ping-pong rounds (0 = default)")
 		topN         = flag.Int("top", trace.DefaultProfileTopN, "span names per track in --format profile")
+		windowUS     = flag.Int64("window-us", 0, "utilization window in microseconds (0 = horizon/16)")
 	)
 	flag.Parse()
 
@@ -67,13 +80,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	rec := trace.NewRecorder()
-	if *campaignFlag != "" {
-		err = runCampaign(rec, *campaignFlag, *seed, t, *messages)
-	} else {
-		err = runWorkload(rec, *runFlag, *seed, t, *messages)
+	record := func(rec *trace.Recorder, seed int64) error {
+		if *campaignFlag != "" {
+			return runCampaign(rec, *campaignFlag, seed, t, *messages)
+		}
+		return runWorkload(rec, *runFlag, seed, t, *messages)
 	}
-	if err != nil {
+
+	rec := trace.NewRecorder()
+	if err := record(rec, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "pmtrace: %v\n", err)
 		os.Exit(1)
 	}
@@ -85,6 +100,17 @@ func main() {
 		err = trace.WriteChrome(out, rec)
 	case "profile":
 		err = trace.WriteProfile(out, rec, *topN)
+	case "utilization":
+		err = trace.WriteUtilization(out, rec, sim.Time(*windowUS)*sim.Microsecond)
+	case "critpath":
+		err = trace.WriteCritPath(out, rec)
+	case "diff":
+		rec2 := trace.NewRecorder()
+		if err := record(rec2, *seed2); err != nil {
+			fmt.Fprintf(os.Stderr, "pmtrace: %v\n", err)
+			os.Exit(1)
+		}
+		err = trace.WriteDiff(out, rec, rec2)
 	default:
 		fmt.Fprintf(os.Stderr, "pmtrace: unknown format %q\n", *formatFlag)
 		os.Exit(1)

@@ -85,6 +85,101 @@ func TestGoldenTraces(t *testing.T) {
 	}
 }
 
+// record runs one pmtrace workload or campaign into a fresh recorder.
+func record(t *testing.T, campaign, run string, seed int64, messages int) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder()
+	var err error
+	if campaign != "" {
+		err = runCampaign(rec, campaign, seed, nil, messages)
+	} else {
+		err = runWorkload(rec, run, seed, nil, messages)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestAnalyticsFormatsDeterministic runs the three analytics formats
+// twice on the same seed and requires byte-identical output — the
+// acceptance criterion for the analysis layer.
+func TestAnalyticsFormatsDeterministic(t *testing.T) {
+	render := func(rec *trace.Recorder, format string) string {
+		var b strings.Builder
+		var err error
+		switch format {
+		case "utilization":
+			err = trace.WriteUtilization(&b, rec, 0)
+		case "critpath":
+			err = trace.WriteCritPath(&b, rec)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	for _, format := range []string{"utilization", "critpath"} {
+		first := render(record(t, "", "pingpong", 1, 0), format)
+		second := render(record(t, "", "pingpong", 1, 0), format)
+		if first != second {
+			t.Errorf("--format %s: two seed-1 runs rendered differently", format)
+		}
+		if strings.Count(first, "\n") < 3 {
+			t.Errorf("--format %s: output suspiciously empty:\n%s", format, first)
+		}
+	}
+}
+
+// TestDiffSameSeedIsClean pins the diff acceptance criterion: the same
+// workload under the same seed diffs clean, and under a different seed
+// reports a non-empty delta.
+func TestDiffSameSeedIsClean(t *testing.T) {
+	a := record(t, "", "pingpong", 1, 0)
+	b := record(t, "", "pingpong", 1, 0)
+	var out strings.Builder
+	if err := trace.WriteDiff(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "timelines identical") {
+		t.Errorf("seed-1 self diff not clean:\n%s", out.String())
+	}
+	out.Reset()
+	if err := trace.WriteDiff(&out, a, record(t, "", "pingpong", 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "timelines identical") {
+		t.Error("seed-1 vs seed-2 diff reported identical")
+	}
+}
+
+// TestGoldenAnalytics pins the CI-smoked utilization and diff reports
+// against the checked-in goldens.
+func TestGoldenAnalytics(t *testing.T) {
+	read := func(name string) string {
+		t.Helper()
+		want, err := os.ReadFile("../../testdata/" + name)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with pmtrace): %v", err)
+		}
+		return string(want)
+	}
+	var b strings.Builder
+	if err := trace.WriteUtilization(&b, record(t, "", "pingpong", 1, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != read("pmtrace_pingpong_utilization_seed1.golden") {
+		t.Error("utilization output diverged from golden")
+	}
+	b.Reset()
+	if err := trace.WriteDiff(&b, record(t, "", "pingpong", 1, 0), record(t, "", "pingpong", 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != read("pmtrace_pingpong_diff_seed1_seed2.golden") {
+		t.Error("diff output diverged from golden")
+	}
+}
+
 // TestProfileFormat checks the plain-text exporter renders a table for
 // a recorded workload.
 func TestProfileFormat(t *testing.T) {

@@ -28,10 +28,25 @@ package earth
 import (
 	"fmt"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/netsim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 	"powermanna/internal/trace"
+)
+
+// Metric names the runtime feeds when a registry is attached.
+const (
+	// MetricTokenLatency is the delivery-latency histogram of remote
+	// control tokens (post to SU arrival, failover costs included); a
+	// split-phase GET_SYNC round trip is two such tokens, request and
+	// reply, each observed.
+	MetricTokenLatency = "earth.token.latency"
+	// MetricTokensRemote counts tokens that crossed the network.
+	MetricTokensRemote = "earth.token.remote"
+	// MetricReadyPeak is the high-water mark of any node's ready-fiber
+	// queue — how much latent parallelism the split-phase style exposed.
+	MetricReadyPeak = "earth.ready.peak"
 )
 
 // Params are the runtime's cost constants, calibrated to the EARTH-MANNA
@@ -98,6 +113,16 @@ type System struct {
 	// rec, when non-nil, records fiber, SU-service and token-lifetime
 	// spans. Attached via SetRecorder.
 	rec *trace.Recorder
+	// met holds the runtime's resolved metrics instruments; the zero
+	// value is "metrics off". Attached via SetMetrics.
+	met earthInstruments
+}
+
+// earthInstruments are the runtime's resolved nil-safe instruments.
+type earthInstruments struct {
+	tokenLatency *metrics.Histogram
+	tokensRemote *metrics.Counter
+	readyPeak    *metrics.Gauge
 }
 
 type fiberInst struct {
@@ -162,6 +187,26 @@ func (s *System) Network() *netsim.Network { return s.net }
 func (s *System) SetRecorder(r *trace.Recorder) {
 	s.rec = r
 	s.net.SetRecorder(r)
+}
+
+// SetMetrics attaches a metrics registry to the runtime and its network:
+// remote-token delivery latencies, the remote-token count and the
+// ready-queue high-water mark land in the earth.* instruments, and the
+// network feeds its own netsim.* and xbar.* families. A nil registry
+// detaches everything.
+func (s *System) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		s.met = earthInstruments{}
+	} else {
+		s.met = earthInstruments{
+			// Token latencies share the network's bucket geometry so the
+			// runtime view lines up under the transport view in the dump.
+			tokenLatency: m.TimeHistogram(MetricTokenLatency, metrics.TimeBuckets(sim.Microsecond, 2, 10)),
+			tokensRemote: m.Counter(MetricTokensRemote),
+			readyPeak:    m.Gauge(MetricReadyPeak),
+		}
+	}
+	s.net.SetMetrics(m)
 }
 
 // Err reports the first fatal runtime error of the run — a control token
@@ -239,6 +284,7 @@ func (s *System) makespan() sim.Time {
 func (s *System) enqueueFiber(node int, f fiberInst, t sim.Time) {
 	ns := s.nodes[node]
 	ns.ready = append(ns.ready, f)
+	s.met.readyPeak.Max(int64(len(ns.ready)))
 	s.kickEU(node, t)
 }
 
@@ -344,6 +390,8 @@ func (s *System) post(src, dst int, tk token, t sim.Time) {
 			tk.kind, src, dst, d.Done, d.Attempts))
 		return
 	}
+	s.met.tokensRemote.Inc()
+	s.met.tokenLatency.ObserveTime(d.Done - t)
 	if s.rec.Enabled() {
 		s.rec.SpanArg(trace.NodeTrack(dst), "earth", "token "+tk.kind.String(), t, d.Done,
 			fmt.Sprintf("%d->%d", src, dst))

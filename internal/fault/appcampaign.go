@@ -218,9 +218,10 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 		// EARTH system, both over a fresh fault-aware network.
 		var runW func() (sim.Time, error)
 		var net *netsim.Network
+		var sys *earth.System
 		if c.EarthWorkload != nil {
 			s := earth.NewWithFailover(opt.Topology, earth.DefaultParams(), netsim.DefaultFailover())
-			net = s.Network()
+			net, sys = s.Network(), s
 			runW = func() (sim.Time, error) { return c.EarthWorkload(s) }
 		} else {
 			w := mpl.NewWorldWith(opt.Topology, netsim.DefaultFailover())
@@ -228,8 +229,19 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 			runW = func() (sim.Time, error) { return c.Workload(w) }
 		}
 		net.AttachOSStream(netsim.DefaultOSStream())
-		if opt.Trace != nil && rate == c.Rates[len(c.Rates)-1] {
-			net.SetRecorder(opt.Trace)
+		if rate == c.Rates[len(c.Rates)-1] {
+			if opt.Trace != nil {
+				net.SetRecorder(opt.Trace)
+			}
+			if opt.Metrics != nil {
+				// EARTH workloads attach through the runtime so the earth.*
+				// instruments come along with the network's.
+				if sys != nil {
+					sys.SetMetrics(opt.Metrics)
+				} else {
+					net.SetMetrics(opt.Metrics)
+				}
+			}
 		}
 		var events []Event
 		if rate > 0 {

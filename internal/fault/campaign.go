@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/netsim"
 	"powermanna/internal/sim"
 	"powermanna/internal/stats"
@@ -137,6 +138,11 @@ type Options struct {
 	// sends, circuit holds, failover attempts) into the recorder — the
 	// hook cmd/pmtrace uses to turn a campaign into a timeline.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the highest-rate row's instrument
+	// readings (send outcomes, latency and detection histograms,
+	// arbitration waits; runtime token stats for EARTH workloads) — the
+	// hook behind pmfault --metrics.
+	Metrics *metrics.Registry
 }
 
 func (o Options) resolved() Options {
@@ -300,10 +306,16 @@ func Run(c Campaign, opt Options) (*Result, error) {
 	cfg := netsim.DefaultFailover()
 	for _, rate := range c.Rates {
 		net := netsim.New(opt.Topology)
-		if opt.Trace != nil && rate == c.Rates[len(c.Rates)-1] {
-			// Only the highest-rate (most interesting) row is traced; the
-			// earlier sweep rows would bury it in identical fault-free spans.
-			net.SetRecorder(opt.Trace)
+		if rate == c.Rates[len(c.Rates)-1] {
+			// Only the highest-rate (most interesting) row is observed; the
+			// earlier sweep rows would bury it in identical fault-free
+			// readings.
+			if opt.Trace != nil {
+				net.SetRecorder(opt.Trace)
+			}
+			if opt.Metrics != nil {
+				net.SetMetrics(opt.Metrics)
+			}
 		}
 		tps := make([]*netsim.Transport, opt.Topology.Nodes())
 		for i := range tps {

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"powermanna/internal/sim"
+)
+
+// TestNilRegistryNoOpsAndAllocatesNothing pins the "zero overhead when
+// off" contract: a nil registry hands out nil instruments, and every
+// instrument method no-ops without allocating — the cost an always-wired
+// call site pays when metrics are off.
+func TestNilRegistryNoOpsAndAllocatesNothing(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{1, 2})
+	th := r.TimeHistogram("th", TimeBuckets(sim.Microsecond, 2, 4))
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(5)
+		g.Set(3)
+		g.Max(9)
+		h.Observe(1)
+		th.ObserveTime(2 * sim.Microsecond)
+	})
+	if allocs != 0 {
+		t.Errorf("nil instruments allocated %.1f times per run, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments hold state")
+	}
+	if r.Render() != "" {
+		t.Error("nil registry renders non-empty dump")
+	}
+}
+
+// TestGetOrCreateSharesInstruments checks that asking twice for a name
+// returns the same instrument — the property that lets every crossbar of
+// a network share one tally.
+func TestGetOrCreateSharesInstruments(t *testing.T) {
+	r := NewRegistry()
+	if !r.Enabled() {
+		t.Fatal("fresh registry reports disabled")
+	}
+	a, b := r.Counter("x"), r.Counter("x")
+	if a != b {
+		t.Error("two Counter(x) calls returned distinct instruments")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Errorf("shared counter = %d, want 2", a.Value())
+	}
+	h1 := r.Histogram("h", []int64{10, 20})
+	h2 := r.Histogram("h", []int64{999}) // later buckets are ignored
+	if h1 != h2 || len(h2.bounds) != 2 {
+		t.Error("histogram get-or-create did not keep the first creation's buckets")
+	}
+}
+
+// TestHistogramBucketsAndAggregates checks bucket assignment including
+// the implicit overflow bucket, and the exact count/sum/min/max.
+func TestHistogramBucketsAndAggregates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", ExpBuckets(10, 10, 3)) // 10, 100, 1000
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 0, 1} // <=10 twice, <=100 twice, <=1000 none, overflow once
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 5126 || h.min != 5 || h.max != 5000 {
+		t.Errorf("aggregates count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.min, h.max)
+	}
+}
+
+// TestGaugeMaxIsHighWaterMark checks Max only raises the level.
+func TestGaugeMaxIsHighWaterMark(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Max(4)
+	g.Max(2)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	g.Set(1)
+	if g.Value() != 1 {
+		t.Errorf("gauge after Set = %d, want 1", g.Value())
+	}
+}
+
+// buildDump records a fixed observation set and renders it.
+func buildDump() string {
+	r := NewRegistry()
+	// Creation order differs from name order on purpose: the dump must
+	// sort, not echo insertion.
+	r.Counter("z.count").Add(7)
+	r.Counter("a.count").Inc()
+	r.Gauge("m.level").Set(3)
+	h := r.TimeHistogram("lat", TimeBuckets(sim.Microsecond, 2, 3))
+	h.ObserveTime(1500 * sim.Nanosecond)
+	h.ObserveTime(9 * sim.Microsecond)
+	return r.Render()
+}
+
+// TestRenderDeterministicAndSorted pins the dump shape: stable across
+// runs, instruments sorted by name, time-valued histograms rendered as
+// exact microseconds.
+func TestRenderDeterministicAndSorted(t *testing.T) {
+	out := buildDump()
+	if out != buildDump() {
+		t.Error("two identical recordings rendered different dumps")
+	}
+	if !strings.HasPrefix(out, "-- metrics --\n") {
+		t.Errorf("dump missing header:\n%s", out)
+	}
+	if strings.Index(out, "a.count") > strings.Index(out, "z.count") {
+		t.Errorf("counters not name-sorted:\n%s", out)
+	}
+	// 1500 ns = 1_500_000 ps renders as exactly 1.500000us.
+	for _, want := range []string{
+		"counter    a.count  1",
+		"counter    z.count  7",
+		"gauge      m.level  3",
+		"count=2 min=1.500000us max=9.000000us mean=5.250000us",
+		"le 2.000000us  1",
+		"le +inf  1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpBuckets checks both bucket builders produce the ascending
+// geometric ladder.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(3, 2, 4)
+	for i, want := range []int64{3, 6, 12, 24} {
+		if got[i] != want {
+			t.Errorf("ExpBuckets[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	tb := TimeBuckets(sim.Microsecond, 4, 3)
+	for i, want := range []sim.Time{sim.Microsecond, 4 * sim.Microsecond, 16 * sim.Microsecond} {
+		if tb[i] != want {
+			t.Errorf("TimeBuckets[%d] = %v, want %v", i, tb[i], want)
+		}
+	}
+}

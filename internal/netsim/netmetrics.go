@@ -1,0 +1,90 @@
+// Metrics wiring for the network and its transports: the deterministic
+// registry instruments (internal/metrics) the send path feeds whether
+// or not tracing is enabled. Instruments are resolved once at attach
+// time and held as nil-safe pointers, so the hot path pays one nil
+// check per observation — the same always-on contract as the nil trace
+// recorder.
+
+package netsim
+
+import (
+	"powermanna/internal/metrics"
+	"powermanna/internal/sim"
+)
+
+// Metric names the network feeds; pmfault --metrics dumps them.
+const (
+	// MetricSends counts reliable sends entering the failover protocol.
+	MetricSends = "netsim.send.total"
+	// MetricDelivered counts sends that delivered on some plane.
+	MetricDelivered = "netsim.send.delivered"
+	// MetricFailed counts sends both planes failed to carry.
+	MetricFailed = "netsim.send.failed"
+	// MetricRetried counts deliveries that missed their first-choice
+	// plane.
+	MetricRetried = "netsim.send.retried"
+	// MetricPlaneDownHits counts plane attempts short-circuited by the
+	// plane-down cache; MetricPlaneDownHits over MetricSends is the cache
+	// hit ratio the degradation curve bends on.
+	MetricPlaneDownHits = "netsim.plane-down.hits"
+	// MetricSendLatency is the sender-observed latency histogram of
+	// delivered messages, detection windows and retries included.
+	MetricSendLatency = "netsim.send.latency"
+	// MetricDetection is the per-failed-attempt detection-window
+	// histogram: how long the driver took to learn an attempt died
+	// (ack timeout, NACK return or FIFO-stall abandon).
+	MetricDetection = "netsim.failover.detection"
+)
+
+// latencyBuckets spans the send-latency range of interest: from the
+// paper's sub-4 µs happy path up past several stacked 12 µs detection
+// windows.
+func latencyBuckets() []sim.Time {
+	return metrics.TimeBuckets(sim.Microsecond, 2, 10) // 1 µs .. 512 µs
+}
+
+// netInstruments holds the network's resolved instruments; the zero
+// value (all nil) is the "metrics off" state.
+type netInstruments struct {
+	sends, delivered, failed, retried, planeDownHits *metrics.Counter
+	sendLatency, detection                           *metrics.Histogram
+}
+
+// SetMetrics attaches a metrics registry: the failover send path feeds
+// send outcome counters and latency/detection histograms, and every
+// crossbar feeds the shared arbitration instruments. A nil registry
+// detaches everything — the default state, costing the instrumented
+// paths one nil check per observation.
+func (n *Network) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		n.met = netInstruments{}
+	} else {
+		n.met = netInstruments{
+			sends:         m.Counter(MetricSends),
+			delivered:     m.Counter(MetricDelivered),
+			failed:        m.Counter(MetricFailed),
+			retried:       m.Counter(MetricRetried),
+			planeDownHits: m.Counter(MetricPlaneDownHits),
+			sendLatency:   m.TimeHistogram(MetricSendLatency, latencyBuckets()),
+			detection:     m.TimeHistogram(MetricDetection, latencyBuckets()),
+		}
+	}
+	for _, x := range n.xbars {
+		x.Metrics(m)
+	}
+}
+
+// observeSend tallies one completed reliable send.
+func (mi *netInstruments) observeSend(d Delivery) {
+	mi.sends.Inc()
+	mi.planeDownHits.Add(int64(d.SkippedDown))
+	if d.Failed {
+		mi.failed.Inc()
+		return
+	}
+	mi.delivered.Inc()
+	mi.sendLatency.ObserveTime(d.Latency())
+	if d.Retried {
+		mi.retried.Inc()
+	}
+}

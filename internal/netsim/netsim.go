@@ -53,6 +53,9 @@ type Network struct {
 	// spans per source node, circuit holds per crossbar output and wire,
 	// failover attempts per transport. Attached via SetRecorder.
 	rec *trace.Recorder
+	// met holds the resolved metrics instruments the reliable-send path
+	// feeds (netmetrics.go); the zero value is the "metrics off" state.
+	met netInstruments
 	// osSending marks sends issued by the background OS stream so their
 	// message spans land on the OS track instead of a node track.
 	osSending bool

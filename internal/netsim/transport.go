@@ -165,7 +165,17 @@ func (t *Transport) markDown(plane int, detectedAt sim.Time, cfg FailoverConfig)
 	t.down[plane] = planeDown{down: true, reprobeAt: detectedAt + cfg.ReprobeInterval}
 }
 
-// sendWith is the shared failover protocol: the body of both
+// sendWith runs the failover protocol and tallies the outcome into the
+// network's metrics instruments (no-ops when no registry is attached).
+func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
+	d, err := t.sendProtocol(at, dst, payloadBytes, cfg)
+	if err == nil {
+		t.net.met.observeSend(d)
+	}
+	return d, err
+}
+
+// sendProtocol is the shared failover protocol: the body of both
 // Transport.Send and the cacheless Network.SendReliable. All protocol
 // costs — stall deferral, ack timeout, NACK return, backoff, plane-down
 // status checks — land in the returned Delivery's times.
@@ -175,7 +185,7 @@ func (t *Transport) markDown(plane int, detectedAt sim.Time, cfg FailoverConfig)
 // the first pass skipped cached-down planes without delivering, a second
 // pass probes them for real (the cache is a latency optimisation, not an
 // availability decision).
-func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
+func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
 	n := t.net
 	if dst < 0 || dst >= n.topo.Nodes() {
 		return Delivery{}, fmt.Errorf("netsim: node out of range (%d, %d)", t.src, dst)
@@ -267,10 +277,12 @@ type sendState struct {
 // attemptAt is the sender's clock for the next attempt.
 func (st *sendState) attemptAt() sim.Time { return st.at + st.elapsed }
 
-// traceAttempt records one failed plane attempt as a span from the
-// attempt's entry to when the driver detected the failure, labelled with
-// the cause ("fifo-stall", "link-down", "setup-timeout", "crc-nack").
+// traceAttempt records one failed plane attempt: the detection window
+// (entry to failure detection) into the metrics histogram, and — when
+// tracing — a span labelled with the cause ("fifo-stall", "link-down",
+// "setup-timeout", "crc-nack").
 func (t *Transport) traceAttempt(plane int, from, detected sim.Time, cause string) {
+	t.net.met.detection.ObserveTime(detected - from)
 	if !t.net.rec.Enabled() {
 		return
 	}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"powermanna/internal/sim"
+)
+
+const us = sim.Microsecond
+
+// TestCriticalPathKnownChain hand-builds a timeline whose longest chain
+// is known and checks the extractor recovers exactly it: decoy spans
+// that overlap the chain (parallel work, nested children) must not
+// appear, and the chain/slack accounting must cover the makespan.
+func TestCriticalPathKnownChain(t *testing.T) {
+	r := NewRecorder()
+	// The intended chain: a [0,10) -> b [12,30) -> c [30,40).
+	r.Span(NodeTrack(0), "w", "a", 0, 10*us)
+	r.Span(NodeTrack(1), "w", "b", 12*us, 30*us)
+	r.Span(NodeTrack(2), "w", "c", 30*us, 40*us)
+	// Decoys: d could precede c but yields a shorter chain (25 < 10+18);
+	// child nests inside b (overlapping, so never chained with it).
+	r.Span(NodeTrack(3), "w", "d", 0, 25*us)
+	r.Span(NodeTrack(1), "w", "child", 14*us, 20*us)
+
+	cp := CriticalPath(r)
+	if cp.Makespan != 40*us {
+		t.Fatalf("makespan = %v, want 40us", cp.Makespan)
+	}
+	var names []string
+	for _, h := range cp.Hops {
+		names = append(names, h.Span.Name)
+	}
+	if got := strings.Join(names, ","); got != "a,b,c" {
+		t.Fatalf("chain = %s, want a,b,c", got)
+	}
+	if cp.ChainTime != 38*us || cp.SlackTime != 2*us {
+		t.Errorf("chain %v + slack %v, want 38us + 2us", cp.ChainTime, cp.SlackTime)
+	}
+	if cp.ChainTime+cp.SlackTime != cp.Makespan {
+		t.Errorf("chain %v + slack %v != makespan %v", cp.ChainTime, cp.SlackTime, cp.Makespan)
+	}
+	if cp.Hops[1].Slack != 2*us || cp.Hops[0].Slack != 0 || cp.Hops[2].Slack != 0 {
+		t.Errorf("per-hop slack wrong: %+v", cp.Hops)
+	}
+}
+
+// TestCriticalPathEndsAtInnermostLeaf checks terminal selection under
+// nesting: when a parent and its nested child both end at the makespan,
+// the chain ends at the child (latest start), and the parent — which
+// overlaps everything — is not on the path.
+func TestCriticalPathEndsAtInnermostLeaf(t *testing.T) {
+	r := NewRecorder()
+	r.Span(NodeTrack(0), "w", "parent", 0, 40*us)
+	r.Span(NodeTrack(0), "w", "early-child", 5*us, 15*us)
+	r.Span(NodeTrack(0), "w", "leaf", 20*us, 40*us)
+	r.Span(NodeTrack(1), "w", "feeder", 0, 18*us)
+
+	cp := CriticalPath(r)
+	var names []string
+	for _, h := range cp.Hops {
+		names = append(names, h.Span.Name)
+	}
+	if got := strings.Join(names, ","); got != "feeder,leaf" {
+		t.Fatalf("chain = %s, want feeder,leaf", got)
+	}
+	if cp.ChainTime != 38*us || cp.SlackTime != 2*us || cp.Makespan != 40*us {
+		t.Errorf("chain %v slack %v makespan %v", cp.ChainTime, cp.SlackTime, cp.Makespan)
+	}
+}
+
+// TestCriticalPathEmptyRecorder checks the degenerate cases.
+func TestCriticalPathEmptyRecorder(t *testing.T) {
+	var nilRec *Recorder
+	for _, r := range []*Recorder{nilRec, NewRecorder()} {
+		cp := CriticalPath(r)
+		if cp.Makespan != 0 || len(cp.Hops) != 0 {
+			t.Errorf("empty recording produced a path: %+v", cp)
+		}
+	}
+	var b strings.Builder
+	if err := WriteCritPath(&b, nilRec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0 hops") {
+		t.Errorf("empty critpath render: %q", b.String())
+	}
+}
+
+// TestUtilizationWindowsAndMerge checks window clipping and that nested
+// or overlapping spans never double-count busy time.
+func TestUtilizationWindowsAndMerge(t *testing.T) {
+	r := NewRecorder()
+	// Overlapping pair on one track: union is [0,10), not 12 us of busy.
+	r.Span(NodeTrack(0), "w", "x", 0, 6*us)
+	r.Span(NodeTrack(0), "w", "y", 4*us, 10*us)
+	// Second track fixes the horizon at 12 us and owns [10,12) alone.
+	r.Span(NodeTrack(1), "w", "z", 10*us, 12*us)
+
+	u := Utilize(r, 4*us)
+	if u.Horizon != 12*us || u.Window != 4*us || len(u.Tracks) != 2 {
+		t.Fatalf("horizon %v window %v tracks %d", u.Horizon, u.Window, len(u.Tracks))
+	}
+	t0 := u.Tracks[0]
+	if t0.Track != NodeTrack(0) || t0.Busy != 10*us {
+		t.Errorf("track0 busy = %v, want 10us (union, not sum)", t0.Busy)
+	}
+	wantWin := []sim.Time{4 * us, 4 * us, 2 * us}
+	for i, w := range t0.Windows {
+		if w != wantWin[i] {
+			t.Errorf("track0 window %d = %v, want %v", i, w, wantWin[i])
+		}
+	}
+	t1 := u.Tracks[1]
+	if t1.Busy != 2*us || t1.Windows[0] != 0 || t1.Windows[2] != 2*us {
+		t.Errorf("track1 = %+v", t1)
+	}
+	if got := u.BusyFraction(t1); got < 16.6 || got > 16.7 {
+		t.Errorf("track1 busy fraction = %.2f%%, want ~16.67%%", got)
+	}
+}
+
+// TestUtilizationAutoWindow checks the auto-sizing: horizon/16 rounded
+// up to a whole microsecond.
+func TestUtilizationAutoWindow(t *testing.T) {
+	r := NewRecorder()
+	r.Span(NodeTrack(0), "w", "x", 0, 100*us)
+	u := Utilize(r, 0)
+	if u.Window != 7*us {
+		t.Errorf("auto window = %v, want 7us (ceil(100/16) rounded up)", u.Window)
+	}
+	if n := len(u.Tracks[0].Windows); n != 15 {
+		t.Errorf("window count = %d, want 15", n)
+	}
+}
+
+// TestDiffShiftAndRemoval is the satellite fixture: two recordings that
+// differ by one shifted span and one missing span must report exactly
+// that — and nothing else.
+func TestDiffShiftAndRemoval(t *testing.T) {
+	build := func(shift sim.Time, dropThird bool) *Recorder {
+		r := NewRecorder()
+		r.Span(NodeTrack(0), "net", "msg", 0, 5*us)
+		r.Span(NodeTrack(0), "net", "msg", 10*us+shift, 15*us+shift)
+		if !dropThird {
+			r.Span(NodeTrack(1), "net", "msg", 20*us, 25*us)
+		}
+		r.Span(NodeTrack(2), "cpu", "fiber", 30*us, 42*us)
+		return r
+	}
+	a := build(0, false)
+	b := build(3*us, true)
+
+	d := DiffRecordings(a, b)
+	if d.Identical() {
+		t.Fatal("differing runs reported identical")
+	}
+	if d.Matched != 2 || len(d.Shifts) != 1 || len(d.Removed) != 1 || len(d.Added) != 0 {
+		t.Fatalf("matched=%d shifts=%d removed=%d added=%d, want 2/1/1/0",
+			d.Matched, len(d.Shifts), len(d.Removed), len(d.Added))
+	}
+	s := d.Shifts[0]
+	if s.Key.name != "msg" || s.Key.ordinal != 1 || s.StartDelta != 3*us || s.DurDelta != 0 {
+		t.Errorf("shift = %+v", s)
+	}
+	rm := d.Removed[0]
+	if rm.track != NodeTrack(1) || rm.name != "msg" || rm.ordinal != 0 {
+		t.Errorf("removed = %+v", rm)
+	}
+	if d.MakespanA != 42*us || d.MakespanB != 42*us {
+		t.Errorf("makespans %v / %v", d.MakespanA, d.MakespanB)
+	}
+
+	var out strings.Builder
+	if err := WriteDiff(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"1 shifted, 1 removed, 0 added",
+		"node 0 net/msg #2",
+		"removed (only in A)",
+		"node 1 net/msg #1",
+		"utilization deltas",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDiffSelfIsIdentical checks the zero-diff direction: a recording
+// diffed against an identical one reports no divergence.
+func TestDiffSelfIsIdentical(t *testing.T) {
+	r := sample()
+	d := DiffRecordings(r, r)
+	if !d.Identical() || d.Matched != r.Len() {
+		t.Fatalf("self-diff: identical=%v matched=%d of %d", d.Identical(), d.Matched, r.Len())
+	}
+	var out strings.Builder
+	if err := WriteDiff(&out, r, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "timelines identical") {
+		t.Errorf("self-diff report:\n%s", out.String())
+	}
+}
+
+// TestEventsReturnsDefensiveCopy checks analyzers can mutate (sort,
+// truncate) the returned slice without corrupting the recording.
+func TestEventsReturnsDefensiveCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Span(NodeTrack(0), "w", "first", 0, 10*us)
+	r.Span(NodeTrack(0), "w", "second", 10*us, 20*us)
+	ev := r.Events()
+	ev[0].Name = "clobbered"
+	ev[0], ev[1] = ev[1], ev[0]
+	if got := r.Events()[0].Name; got != "first" {
+		t.Errorf("recording mutated through Events(): first event is %q", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Critical-path extraction: the chain of spans that bounds the
+// makespan. The recorded timeline is rebuilt into a dependency DAG in
+// which span v can follow span u whenever u ends no later than v starts
+// (on any track — a message span completing enables the fiber it wakes;
+// a fiber span completing enables the token it posts), while spans that
+// overlap in time — a parent and the children nested inside it on the
+// same track, two circuits held concurrently — are parallel, never
+// chained. The critical path is the chain with the greatest total span
+// duration that ends at the run's final event; the gap each hop leaves
+// to its predecessor is reported as slack (idle time a faster resource
+// could not have recovered anyway unless the chain itself changed).
+
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+)
+
+// Hop is one span of the critical path.
+type Hop struct {
+	// Span is the recorded event (always a SpanEvent).
+	Span Event
+	// Slack is the idle gap between the predecessor's end and this
+	// span's start (for the first hop: the gap from time zero).
+	Slack sim.Time
+}
+
+// CritPath is the longest dependency chain ending at the final event.
+type CritPath struct {
+	// Makespan is the recording's last span end.
+	Makespan sim.Time
+	// Hops is the chain in time order, first to last.
+	Hops []Hop
+	// ChainTime is the summed duration of the chain's spans; SlackTime
+	// the summed gaps. ChainTime + SlackTime == Makespan.
+	ChainTime, SlackTime sim.Time
+}
+
+// CriticalPath extracts the longest chain of non-overlapping spans
+// ending at the recording's final event. Chain length is total span
+// duration; ties are broken deterministically (earlier-recorded
+// predecessors win), and the terminal span is the one with the latest
+// end, then the latest start — the innermost leaf when nesting puts
+// several span ends at the makespan. The result is a pure function of
+// the recorded events.
+func CriticalPath(r *Recorder) *CritPath {
+	var spans []Event
+	for _, e := range r.Events() {
+		if e.Kind == SpanEvent {
+			spans = append(spans, e)
+		}
+	}
+	cp := &CritPath{}
+	if len(spans) == 0 {
+		return cp
+	}
+
+	// Process spans in ascending end order so every legal predecessor of
+	// a span (end <= this start <= this end) is processed first. The
+	// prefix arrays then answer "best chain ending at or before t" with
+	// one binary search: ends is the processed spans' (nondecreasing)
+	// end times, prefixBest[i] the best chain total among the first i+1,
+	// prefixIdx[i] which span achieves it (first achiever wins ties —
+	// deterministic because the processing order is).
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := spans[order[a]], spans[order[b]]
+		if ea.End != eb.End {
+			return ea.End < eb.End
+		}
+		return ea.Start < eb.Start
+	})
+
+	best := make([]sim.Time, len(spans))
+	pred := make([]int, len(spans))
+	ends := make([]sim.Time, 0, len(spans))
+	prefixBest := make([]sim.Time, 0, len(spans))
+	prefixIdx := make([]int, 0, len(spans))
+	for _, i := range order {
+		e := spans[i]
+		pred[i] = -1
+		best[i] = e.End - e.Start
+		// Latest processed position with end <= e.Start.
+		lo, hi := 0, len(ends)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ends[mid] <= e.Start {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			best[i] += prefixBest[lo-1]
+			pred[i] = prefixIdx[lo-1]
+		}
+		ends = append(ends, e.End)
+		if n := len(prefixBest); n > 0 && prefixBest[n-1] >= best[i] {
+			prefixBest = append(prefixBest, prefixBest[n-1])
+			prefixIdx = append(prefixIdx, prefixIdx[n-1])
+		} else {
+			prefixBest = append(prefixBest, best[i])
+			prefixIdx = append(prefixIdx, i)
+		}
+	}
+
+	// Terminal: latest end, then latest start (the innermost leaf), then
+	// last recorded.
+	term := -1
+	for i, e := range spans {
+		if term < 0 {
+			term = i
+			continue
+		}
+		t := spans[term]
+		if e.End > t.End || (e.End == t.End && e.Start >= t.Start) {
+			term = i
+		}
+	}
+	cp.Makespan = spans[term].End
+
+	var chain []int
+	for i := term; i >= 0; i = pred[i] {
+		chain = append(chain, i)
+	}
+	prevEnd := sim.Time(0)
+	for k := len(chain) - 1; k >= 0; k-- {
+		e := spans[chain[k]]
+		hop := Hop{Span: e, Slack: e.Start - prevEnd}
+		cp.Hops = append(cp.Hops, hop)
+		cp.ChainTime += e.End - e.Start
+		cp.SlackTime += hop.Slack
+		prevEnd = e.End
+	}
+	return cp
+}
+
+// WriteCritPath writes the critical path as a fixed-width table, one
+// hop per row with track, category, name, start, duration and slack,
+// plus a chain/slack/makespan summary. Output is a pure function of the
+// recorded events.
+func WriteCritPath(w io.Writer, r *Recorder) error {
+	cp := CriticalPath(r)
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("critical path — %d hops, chain %.3f us + slack %.3f us = makespan %.3f us (%.1f%% accounted)",
+			len(cp.Hops), cp.ChainTime.Micros(), cp.SlackTime.Micros(), cp.Makespan.Micros(),
+			chainPct(cp)),
+		Columns: []string{"#", "track", "cat", "name", "start-us", "dur-us", "slack-us", "detail"},
+	}
+	for i, h := range cp.Hops {
+		e := h.Span
+		tbl.AddRow(
+			fmt.Sprintf("%d", i+1),
+			e.Track.Name(),
+			e.Cat,
+			e.Name,
+			fmt.Sprintf("%.3f", e.Start.Micros()),
+			fmt.Sprintf("%.3f", (e.End-e.Start).Micros()),
+			fmt.Sprintf("%.3f", h.Slack.Micros()),
+			e.Arg,
+		)
+	}
+	_, err := io.WriteString(w, tbl.Render())
+	return err
+}
+
+// chainPct is the chain's share of the makespan in percent.
+func chainPct(cp *CritPath) float64 {
+	if cp.Makespan <= 0 {
+		return 0
+	}
+	return 100 * float64(cp.ChainTime) / float64(cp.Makespan)
+}

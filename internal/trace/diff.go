@@ -1,0 +1,281 @@
+// Timeline diff: two runs' recordings aligned event by event, the "what
+// changed between these seeds" view. Alignment is structural, not
+// positional: each event is keyed by (track, cat, name, ordinal), where
+// the ordinal counts that (track, cat, name) shape's occurrences in
+// insertion order — so the third "msg" span on node 4's track in run A
+// pairs with the third in run B even when unrelated traffic reordered
+// the global event stream. Paired events that moved or changed length
+// are reported as shifted; unpaired events as added or removed; and a
+// per-track utilization table shows where busy time migrated. One
+// caveat follows from ordinal alignment: an event missing early in one
+// run shifts the pairing of every later same-shape event, so a single
+// dropped message typically reports as one removed event plus a tail of
+// shifts — read the first divergence, not the count.
+
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+)
+
+// DiffMaxRows bounds each listed section of the diff report (shifted,
+// added, removed, utilization deltas); the summary always carries the
+// full counts, so truncation is visible, never silent.
+const DiffMaxRows = 20
+
+// diffKey aligns one event across runs.
+type diffKey struct {
+	track   TrackID
+	cat     string
+	name    string
+	ordinal int
+}
+
+// String renders the key for report rows.
+func (k diffKey) String() string {
+	return fmt.Sprintf("%s %s/%s #%d", k.track.Name(), k.cat, k.name, k.ordinal+1)
+}
+
+// Shift is one aligned event pair whose timing differs between runs.
+type Shift struct {
+	// Key identifies the aligned pair.
+	Key diffKey
+	// StartDelta and DurDelta are B minus A.
+	StartDelta, DurDelta sim.Time
+}
+
+// UtilDelta is one track's busy-fraction change between runs, each
+// fraction measured against its own run's horizon.
+type UtilDelta struct {
+	// Track is the timeline compared.
+	Track TrackID
+	// A and B are the busy percentages in each run.
+	A, B float64
+}
+
+// Diff is the aligned comparison of two recordings.
+type Diff struct {
+	// EventsA and EventsB are the runs' event counts.
+	EventsA, EventsB int
+	// MakespanA and MakespanB are the runs' last span ends.
+	MakespanA, MakespanB sim.Time
+	// Matched counts aligned pairs with identical timing; Shifts the
+	// pairs that moved, sorted by |start delta| descending.
+	Matched int
+	Shifts  []Shift
+	// Removed lists keys present only in A, Added only in B, both in
+	// deterministic key order.
+	Removed, Added []diffKey
+	// UtilDeltas lists tracks whose busy fraction changed, sorted by
+	// |delta| descending.
+	UtilDeltas []UtilDelta
+}
+
+// Identical reports whether the runs' timelines aligned with no shifted,
+// added or removed events.
+func (d *Diff) Identical() bool {
+	return len(d.Shifts) == 0 && len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// keyEvents indexes a recording by alignment key.
+func keyEvents(r *Recorder) (map[diffKey]Event, []diffKey) {
+	byKey := map[diffKey]Event{}
+	ordinals := map[diffKey]int{}
+	keys := make([]diffKey, 0, r.Len())
+	for _, e := range r.Events() {
+		shape := diffKey{track: e.Track, cat: e.Cat, name: e.Name}
+		k := shape
+		k.ordinal = ordinals[shape]
+		ordinals[shape]++
+		byKey[k] = e
+		keys = append(keys, k)
+	}
+	return byKey, keys
+}
+
+// sortKeys orders keys deterministically: track, cat, name, ordinal.
+func sortKeys(keys []diffKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.track != b.track {
+			return a.track < b.track
+		}
+		if a.cat != b.cat {
+			return a.cat < b.cat
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.ordinal < b.ordinal
+	})
+}
+
+// DiffRecordings aligns two recordings and reports every divergence.
+// The result is a pure function of the two event sequences.
+func DiffRecordings(a, b *Recorder) *Diff {
+	aEvents, aKeys := keyEvents(a)
+	bEvents, bKeys := keyEvents(b)
+	d := &Diff{EventsA: a.Len(), EventsB: b.Len()}
+	for _, e := range a.Events() {
+		if e.End > d.MakespanA {
+			d.MakespanA = e.End
+		}
+	}
+	for _, e := range b.Events() {
+		if e.End > d.MakespanB {
+			d.MakespanB = e.End
+		}
+	}
+
+	for _, k := range aKeys {
+		ea := aEvents[k]
+		eb, ok := bEvents[k]
+		if !ok {
+			d.Removed = append(d.Removed, k)
+			continue
+		}
+		startDelta := eb.Start - ea.Start
+		durDelta := (eb.End - eb.Start) - (ea.End - ea.Start)
+		if startDelta == 0 && durDelta == 0 {
+			d.Matched++
+			continue
+		}
+		d.Shifts = append(d.Shifts, Shift{Key: k, StartDelta: startDelta, DurDelta: durDelta})
+	}
+	for _, k := range bKeys {
+		if _, ok := aEvents[k]; !ok {
+			d.Added = append(d.Added, k)
+		}
+	}
+	sortKeys(d.Removed)
+	sortKeys(d.Added)
+	sort.SliceStable(d.Shifts, func(i, j int) bool {
+		ai, aj := absTime(d.Shifts[i].StartDelta), absTime(d.Shifts[j].StartDelta)
+		if ai != aj {
+			return ai > aj
+		}
+		return false // stable: insertion (run-A) order breaks ties
+	})
+
+	// Per-track utilization deltas, each run against its own horizon.
+	ua, ub := Utilize(a, 0), Utilize(b, 0)
+	busy := map[TrackID][2]float64{}
+	for _, tu := range ua.Tracks {
+		e := busy[tu.Track]
+		e[0] = ua.BusyFraction(tu)
+		busy[tu.Track] = e
+	}
+	for _, tu := range ub.Tracks {
+		e := busy[tu.Track]
+		e[1] = ub.BusyFraction(tu)
+		busy[tu.Track] = e
+	}
+	tracks := make([]TrackID, 0, len(busy))
+	for t := range busy {
+		tracks = append(tracks, t)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	for _, t := range tracks {
+		e := busy[t]
+		if e[0] == e[1] {
+			continue
+		}
+		d.UtilDeltas = append(d.UtilDeltas, UtilDelta{Track: t, A: e[0], B: e[1]})
+	}
+	sort.SliceStable(d.UtilDeltas, func(i, j int) bool {
+		return absF(d.UtilDeltas[i].B-d.UtilDeltas[i].A) > absF(d.UtilDeltas[j].B-d.UtilDeltas[j].A)
+	})
+	return d
+}
+
+func absTime(t sim.Time) sim.Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+func absF(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// WriteDiff writes the aligned comparison of two recordings as a text
+// report: a summary header, the largest timing shifts, added and
+// removed events, and per-track utilization deltas, each section capped
+// at DiffMaxRows with the truncation stated. Output is a pure function
+// of the two event sequences.
+func WriteDiff(w io.Writer, a, b *Recorder) error {
+	d := DiffRecordings(a, b)
+	var out strings.Builder
+	fmt.Fprintf(&out, "== timeline diff (A -> B) ==\n")
+	fmt.Fprintf(&out, "events    A %d, B %d\n", d.EventsA, d.EventsB)
+	fmt.Fprintf(&out, "makespan  A %.3f us, B %.3f us (delta %+.3f us)\n",
+		d.MakespanA.Micros(), d.MakespanB.Micros(), (d.MakespanB - d.MakespanA).Micros())
+	fmt.Fprintf(&out, "aligned   %d matched, %d shifted, %d removed, %d added\n",
+		d.Matched, len(d.Shifts), len(d.Removed), len(d.Added))
+	if d.Identical() {
+		out.WriteString("timelines identical: every event matched exactly\n")
+		_, err := io.WriteString(w, out.String())
+		return err
+	}
+
+	if len(d.Shifts) > 0 {
+		tbl := &stats.Table{
+			Title:   fmt.Sprintf("largest shifts (%d of %d)", capRows(len(d.Shifts)), len(d.Shifts)),
+			Columns: []string{"event", "start-delta-us", "dur-delta-us"},
+		}
+		for _, s := range d.Shifts[:capRows(len(d.Shifts))] {
+			tbl.AddRow(s.Key.String(),
+				fmt.Sprintf("%+.3f", s.StartDelta.Micros()),
+				fmt.Sprintf("%+.3f", s.DurDelta.Micros()))
+		}
+		out.WriteByte('\n')
+		out.WriteString(tbl.Render())
+	}
+	writeKeyList(&out, "removed (only in A)", d.Removed)
+	writeKeyList(&out, "added (only in B)", d.Added)
+	if len(d.UtilDeltas) > 0 {
+		tbl := &stats.Table{
+			Title:   fmt.Sprintf("utilization deltas (%d of %d tracks)", capRows(len(d.UtilDeltas)), len(d.UtilDeltas)),
+			Columns: []string{"track", "busy%-A", "busy%-B", "delta-pp"},
+		}
+		for _, ud := range d.UtilDeltas[:capRows(len(d.UtilDeltas))] {
+			tbl.AddRow(ud.Track.Name(),
+				fmt.Sprintf("%.2f", ud.A),
+				fmt.Sprintf("%.2f", ud.B),
+				fmt.Sprintf("%+.2f", ud.B-ud.A))
+		}
+		out.WriteByte('\n')
+		out.WriteString(tbl.Render())
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// capRows bounds a section's row count at DiffMaxRows.
+func capRows(n int) int {
+	if n > DiffMaxRows {
+		return DiffMaxRows
+	}
+	return n
+}
+
+// writeKeyList renders one added/removed section, capped and counted.
+func writeKeyList(out *strings.Builder, title string, keys []diffKey) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n-- %s (%d of %d) --\n", title, capRows(len(keys)), len(keys))
+	for _, k := range keys[:capRows(len(keys))] {
+		fmt.Fprintf(out, "  %s\n", k.String())
+	}
+}

@@ -197,14 +197,19 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Events returns the recorded events in insertion order (shared slice; do
-// not mutate). Insertion order is deterministic because the simulation
-// core is single-threaded and seeded.
+// Events returns a defensive copy of the recorded events in insertion
+// order, so analyzers (utilization windows, critical-path extraction,
+// diff alignment) can sort and slice freely without perturbing the
+// recorder's canonical order. Insertion order is deterministic because
+// the simulation core is single-threaded and seeded. Nil (not an empty
+// slice) when nothing is recorded.
 func (r *Recorder) Events() []Event {
-	if r == nil {
+	if r == nil || len(r.events) == 0 {
 		return nil
 	}
-	return r.events
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
 }
 
 // Reset drops all recorded events, keeping capacity. No-op when nil.

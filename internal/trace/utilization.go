@@ -1,0 +1,211 @@
+// Utilization export: each track's busy fraction over fixed-size
+// windows of simulated time — the "which resource saturated, and when"
+// view the paper argues from (link occupancy under the OS stream,
+// dispatcher occupancy under mixed masters, plane load under failover).
+// A track's busy time in a window is the union of its span intervals
+// clipped to the window, so nested spans (a "setup" inside its "msg")
+// and overlapping circuit holds never double-count.
+
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+)
+
+// UtilizationWindows caps the auto-sized window count: with no explicit
+// window the horizon is split into this many equal windows (rounded up
+// to a whole microsecond so the grid stays human-readable).
+const UtilizationWindows = 16
+
+// TrackUtil is one track's busy-time series.
+type TrackUtil struct {
+	// Track is the timeline measured.
+	Track TrackID
+	// Busy is the union busy time over the whole horizon.
+	Busy sim.Time
+	// Windows holds the busy time inside each fixed window, in window
+	// order; every TrackUtil of one Utilization has the same length.
+	Windows []sim.Time
+}
+
+// Utilization is the per-track busy-fraction series of one recording.
+type Utilization struct {
+	// Window is the fixed window size the horizon was cut into.
+	Window sim.Time
+	// Horizon is the end of the measured range (the latest span end).
+	Horizon sim.Time
+	// Tracks lists every track with at least one span, sorted by TrackID
+	// — class-major, so tracks of one class are contiguous.
+	Tracks []TrackUtil
+}
+
+// Utilize computes the busy-fraction series of every track with spans.
+// window <= 0 auto-sizes to Horizon/UtilizationWindows rounded up to a
+// whole microsecond. The result is a pure function of the recorded
+// events.
+func Utilize(r *Recorder, window sim.Time) *Utilization {
+	events := r.Events()
+	byTrack := map[TrackID][]interval{}
+	var horizon sim.Time
+	for _, e := range events {
+		if e.Kind != SpanEvent {
+			continue
+		}
+		byTrack[e.Track] = append(byTrack[e.Track], interval{e.Start, e.End})
+		if e.End > horizon {
+			horizon = e.End
+		}
+	}
+	if window <= 0 {
+		window = horizon / UtilizationWindows
+		window = (window/sim.Microsecond + 1) * sim.Microsecond
+	}
+	windows := 0
+	if horizon > 0 {
+		windows = int((horizon + window - 1) / window)
+	}
+
+	u := &Utilization{Window: window, Horizon: horizon}
+	tracks := make([]TrackID, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	for _, t := range tracks {
+		merged := mergeIntervals(byTrack[t])
+		tu := TrackUtil{Track: t, Windows: make([]sim.Time, windows)}
+		for _, iv := range merged {
+			tu.Busy += iv.end - iv.start
+			for w := int(iv.start / window); w < windows; w++ {
+				ws, we := sim.Time(w)*window, sim.Time(w+1)*window
+				if ws >= iv.end {
+					break
+				}
+				tu.Windows[w] += sim.Min(we, iv.end) - sim.Max(ws, iv.start)
+			}
+		}
+		u.Tracks = append(u.Tracks, tu)
+	}
+	return u
+}
+
+// interval is one half-open-ish busy range [start, end].
+type interval struct {
+	start, end sim.Time
+}
+
+// mergeIntervals unions possibly nested or overlapping intervals into a
+// disjoint ascending list. Zero-length intervals contribute nothing.
+func mergeIntervals(ivs []interval) []interval {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].end < ivs[j].end
+	})
+	merged := ivs[:0]
+	for _, iv := range ivs {
+		if iv.end <= iv.start {
+			continue
+		}
+		if n := len(merged); n > 0 && iv.start <= merged[n-1].end {
+			if iv.end > merged[n-1].end {
+				merged[n-1].end = iv.end
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// BusyFraction reports a track's whole-horizon busy fraction in percent.
+func (u *Utilization) BusyFraction(tu TrackUtil) float64 {
+	if u.Horizon <= 0 {
+		return 0
+	}
+	return 100 * float64(tu.Busy) / float64(u.Horizon)
+}
+
+// WriteUtilization writes the per-track utilization series as a
+// fixed-width table: one aggregate row per track class, then one row per
+// track, with the whole-run busy percentage and one column per window.
+// window <= 0 auto-sizes (see Utilize). Output is a pure function of the
+// recorded events.
+func WriteUtilization(w io.Writer, r *Recorder, window sim.Time) error {
+	u := Utilize(r, window)
+	windows := 0
+	if len(u.Tracks) > 0 {
+		windows = len(u.Tracks[0].Windows)
+	}
+	cols := []string{"track", "busy%"}
+	for i := 0; i < windows; i++ {
+		cols = append(cols, fmt.Sprintf("w%d", i))
+	}
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("utilization — %d tracks, horizon %s, window %s (busy%% per window)",
+			len(u.Tracks), u.Horizon, u.Window),
+		Columns: cols,
+	}
+	pct := func(busy, span sim.Time) string {
+		if span <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", 100*float64(busy)/float64(span))
+	}
+	flush := func(class int, tus []TrackUtil) {
+		if len(tus) == 0 {
+			return
+		}
+		// Class aggregate: mean busy fraction over the class's tracks.
+		agg := make([]string, 0, 2+windows)
+		agg = append(agg, fmt.Sprintf("[%s x%d]", classNames[class], len(tus)))
+		var busy sim.Time
+		winBusy := make([]sim.Time, windows)
+		for _, tu := range tus {
+			busy += tu.Busy
+			for i, b := range tu.Windows {
+				winBusy[i] += b
+			}
+		}
+		n := sim.Time(len(tus))
+		agg = append(agg, pct(busy, u.Horizon*n))
+		for i := 0; i < windows; i++ {
+			agg = append(agg, pct(winBusy[i], u.windowSpan(i)*n))
+		}
+		tbl.AddRow(agg...)
+		for _, tu := range tus {
+			row := make([]string, 0, 2+windows)
+			row = append(row, tu.Track.Name(), pct(tu.Busy, u.Horizon))
+			for i, b := range tu.Windows {
+				row = append(row, pct(b, u.windowSpan(i)))
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	var pending []TrackUtil
+	for _, tu := range u.Tracks {
+		if len(pending) > 0 && pending[0].Track.Class() != tu.Track.Class() {
+			flush(pending[0].Track.Class(), pending)
+			pending = pending[:0]
+		}
+		pending = append(pending, tu)
+	}
+	if len(pending) > 0 {
+		flush(pending[0].Track.Class(), pending)
+	}
+	_, err := io.WriteString(w, tbl.Render())
+	return err
+}
+
+// windowSpan is window i's covered span: full windows everywhere except
+// the last, which the horizon may truncate.
+func (u *Utilization) windowSpan(i int) sim.Time {
+	ws := sim.Time(i) * u.Window
+	return sim.Min(u.Horizon, ws+u.Window) - ws
+}

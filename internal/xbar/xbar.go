@@ -18,9 +18,16 @@ package xbar
 import (
 	"fmt"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/sim"
 	"powermanna/internal/trace"
 )
+
+// MetricArbWait is the arbitration-wait histogram every crossbar of a
+// network shares: how long route commands waited on a busy output
+// channel before their circuit could form (zero-wait connects are not
+// observed; the opened/blocked counters carry the ratio).
+const MetricArbWait = "xbar.arb-wait"
 
 // Ports is the crossbar radix.
 const Ports = 16
@@ -44,6 +51,9 @@ type Crossbar struct {
 	// under XbarPortTrack(ordinal, out).
 	rec     *trace.Recorder
 	ordinal int
+	// arbWait, when non-nil, tallies arbitration waits into the shared
+	// MetricArbWait histogram (nil = metrics off, observation no-ops).
+	arbWait *metrics.Histogram
 }
 
 // New builds a crossbar.
@@ -57,6 +67,16 @@ func (x *Crossbar) Name() string { return x.name }
 // arbitration waits and injected stuck windows are then recorded.
 func (x *Crossbar) Trace(rec *trace.Recorder, ordinal int) {
 	x.rec, x.ordinal = rec, ordinal
+}
+
+// Metrics attaches a metrics registry: arbitration waits land in the
+// shared MetricArbWait time histogram. A nil registry detaches.
+func (x *Crossbar) Metrics(m *metrics.Registry) {
+	if m == nil {
+		x.arbWait = nil
+		return
+	}
+	x.arbWait = m.TimeHistogram(MetricArbWait, metrics.TimeBuckets(200*sim.Nanosecond, 2, 10))
 }
 
 // DecodeRoute interprets a route command byte as an output channel.
@@ -96,8 +116,12 @@ func (x *Crossbar) Connect(at sim.Time, out int, hold sim.Time) (setup sim.Time)
 }
 
 // traceHold records one circuit's arbitration wait (if any) and its
-// output-channel occupancy on the port's track.
+// output-channel occupancy: the wait into the metrics histogram, both
+// spans onto the port's track when tracing.
 func (x *Crossbar) traceHold(requested, start, until sim.Time, out int) {
+	if start > requested {
+		x.arbWait.ObserveTime(start - requested)
+	}
 	if !x.rec.Enabled() {
 		return
 	}
