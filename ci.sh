@@ -31,6 +31,24 @@ go test -race ./...
 echo "== pmlint =="
 go run ./cmd/pmlint ./...
 
+echo "== pmlint shard-safety report =="
+# The audit that gates the parallel simulation engine: every internal/
+# package classified, byte-identical across runs, pinned as a golden.
+# Regenerate deliberately with:
+#   go run ./cmd/pmlint --report ./... > internal/analysis/testdata/pmlint_report.golden
+reportout=$(mktemp)
+go run ./cmd/pmlint --report ./... > "$reportout"
+if ! cmp -s internal/analysis/testdata/pmlint_report.golden "$reportout"; then
+    echo "pmlint --report diverged from internal/analysis/testdata/pmlint_report.golden:" >&2
+    diff internal/analysis/testdata/pmlint_report.golden "$reportout" >&2 || true
+    rm -f "$reportout"
+    exit 1
+fi
+rm -f "$reportout"
+
+echo "== analysis race tests =="
+go test -race ./internal/analysis/...
+
 echo "== build cmd binaries =="
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT

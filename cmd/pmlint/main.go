@@ -9,9 +9,16 @@
 //	pmlint ./internal/sim    # analyze one package
 //	pmlint -list             # list analyzers and exit
 //	pmlint -only determinism ./...
+//	pmlint -report ./...     # shard-safety audit of internal/ packages
+//
+// The -report mode emits the deterministic shard-safety audit pinned by
+// internal/analysis/testdata/pmlint_report.golden: every internal/
+// package classified as clean, needs-queue-mediation or violations —
+// the work-list for the parallel simulation engine.
 //
 // Exit codes are machine-readable: 0 means the tree is clean, 1 means at
-// least one diagnostic was reported, 2 means the tool itself failed
+// least one diagnostic was reported (or, with -report, at least one
+// package classifies as violations), 2 means the tool itself failed
 // (bad usage, unparseable or untypeable source).
 package main
 
@@ -32,8 +39,9 @@ func main() {
 
 func run() int {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		only   = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		report = flag.Bool("report", false, "emit the shard-safety audit instead of diagnostics")
 	)
 	flag.Parse()
 
@@ -65,6 +73,17 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmlint:", err)
 		return 2
+	}
+
+	if *report {
+		audits := analysis.AuditPackages(pkgs)
+		fmt.Print(analysis.RenderReport(audits))
+		for _, a := range audits {
+			if a.Class == "violations" {
+				return 1
+			}
+		}
+		return 0
 	}
 
 	diags := analysis.Run(pkgs, analyzers)

@@ -5,7 +5,7 @@
 //
 // The suite walks the module with go/build, parses with go/parser and
 // type-checks with go/types (source importer) — no third-party analysis
-// framework — and ships four analyzers:
+// framework — and ships nine analyzers:
 //
 //   - determinism: wall-clock reads, global math/rand, order-dependent
 //     map iteration, and concurrency in the single-threaded sim core
@@ -14,6 +14,18 @@
 //   - docexport: undocumented exported identifiers in internal packages
 //   - layering: direct netsim.Network.Send calls outside internal/netsim
 //     (every layer sends through the fault-aware Transport)
+//
+// plus the shard-safety family built on the package call graph
+// (callgraph.go), which proves the runway for the parallel PDES engine:
+//
+//   - sharedstate: mutable state reachable from two event-handler roots
+//     without queue mediation
+//   - purity: event-ordering functions (Less/Compare/Cmp/Hash, sort
+//     closures) must be pure
+//   - timeflow: sim.Time advances monotonically and never lives in
+//     package-level state
+//   - hotpath: allocation lint for //pmlint:hotpath send-path functions
+//     (interface boxing, map iteration, capturing closures)
 //
 // A diagnostic can be suppressed with a directive on the same line or the
 // line directly above:
@@ -63,6 +75,10 @@ func All() []Analyzer {
 		ErrCheck{},
 		DocExport{},
 		Layering{},
+		SharedState{},
+		Purity{},
+		Timeflow{},
+		Hotpath{},
 	}
 }
 

@@ -25,6 +25,10 @@ var fixtureCases = []struct {
 	{"allow", "internal/allow"},
 	{"scope", "cmd/scope"},
 	{"layering", "internal/layering"},
+	{"shard", "internal/shard"},
+	{"order", "internal/order"},
+	{"tflow", "internal/tflow"},
+	{"hot", "internal/hot"},
 }
 
 // TestFixtures checks every analyzer against the fixture packages: each
@@ -177,7 +181,7 @@ func TestRepositoryIsClean(t *testing.T) {
 
 // TestSuiteNames pins the analyzer names the allow directive refers to.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"determinism", "cycleaccount", "errcheck", "docexport", "layering"}
+	want := []string{"determinism", "cycleaccount", "errcheck", "docexport", "layering", "sharedstate", "purity", "timeflow", "hotpath"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

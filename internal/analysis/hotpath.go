@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function as part of the per-message send path,
+// opting it into the allocation lint. Like all Go directives it uses the
+// no-space comment form and is excluded from godoc.
+const hotpathDirective = "//pmlint:hotpath"
+
+// Hotpath is the fourth shard-safety analyzer: an annotation-driven
+// allocation lint backing the 9-allocs/op send budget statically. A
+// function whose doc group carries //pmlint:hotpath is checked for the
+// three allocation sources that have historically crept into the send
+// path:
+//
+//   - interface boxing — a concrete value passed, assigned or returned
+//     as an interface allocates (one diagnostic per call/statement,
+//     counting the boxed operands, so a single //pmlint:allow covers a
+//     cold guard like panic(fmt.Sprintf(...)));
+//   - map iteration — hides a runtime hash-iterator allocation and is
+//     order-random besides;
+//   - capturing closures — a func literal that captures outer variables
+//     allocates the closure and moves the captures to the heap.
+type Hotpath struct{}
+
+// Name implements Analyzer.
+func (Hotpath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (Hotpath) Doc() string {
+	return "flag interface boxing, map iteration and capturing closures in //pmlint:hotpath functions"
+}
+
+// Check implements Analyzer.
+func (Hotpath) Check(pkg *Package) []Diagnostic {
+	if !strings.HasPrefix(pkg.Rel, "internal/") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDirective(fd) {
+				continue
+			}
+			diags = append(diags, checkHotpath(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// hasHotpathDirective reports whether the function's doc group carries
+// the //pmlint:hotpath directive.
+func hasHotpathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotpath walks one annotated function body.
+func checkHotpath(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	name := declName(fd)
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "hotpath",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	var results *types.Tuple
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		results = obj.Type().(*types.Signature).Results()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if boxed := boxedArgs(pkg, n); boxed > 0 {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(n.Pos()),
+					Analyzer: "hotpath",
+					Message: fmt.Sprintf(
+						"hot path %s: call boxes %d concrete value(s) into interface parameters (allocates per message; counts against the 9-allocs/op send budget)",
+						name, boxed),
+				})
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n.For, "hot path %s: map iteration allocates a hash iterator and is order-random; index a slice instead", name)
+				}
+			}
+		case *ast.FuncLit:
+			if captures := litCaptureCount(pkg, n); captures > 0 {
+				report(n.Pos(), "hot path %s: closure captures %d outer variable(s), allocating the closure and moving captures to the heap; pass state explicitly", name, captures)
+				return false // don't double-report the closure's own body
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			boxed := 0
+			for i := range n.Lhs {
+				if boxesInto(pkg, pkg.Info.TypeOf(n.Lhs[i]), n.Rhs[i]) {
+					boxed++
+				}
+			}
+			if boxed > 0 {
+				report(n.Pos(), "hot path %s: assignment boxes %d concrete value(s) into interface variables (allocates per message)", name, boxed)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, s := range gd.Specs {
+				spec, ok := s.(*ast.ValueSpec)
+				if !ok || spec.Type == nil {
+					continue // no explicit type: the var adopts the value's type, no boxing
+				}
+				dst := pkg.Info.TypeOf(spec.Type)
+				boxed := 0
+				for _, v := range spec.Values {
+					if boxesInto(pkg, dst, v) {
+						boxed++
+					}
+				}
+				if boxed > 0 {
+					report(spec.Pos(), "hot path %s: var declaration boxes %d concrete value(s) into interface variables (allocates per message)", name, boxed)
+				}
+			}
+		case *ast.ReturnStmt:
+			if results == nil || len(n.Results) != results.Len() {
+				return true
+			}
+			boxed := 0
+			for i, r := range n.Results {
+				if boxesInto(pkg, results.At(i).Type(), r) {
+					boxed++
+				}
+			}
+			if boxed > 0 {
+				report(n.Pos(), "hot path %s: return boxes %d concrete value(s) into interface results (allocates per message)", name, boxed)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// boxedArgs counts the call's arguments converted from a concrete type
+// into an interface parameter (each such conversion allocates). Built-in
+// calls and conversions have no *types.Signature and count zero.
+func boxedArgs(pkg *Package, call *ast.CallExpr) int {
+	t := pkg.Info.TypeOf(call.Fun)
+	if t == nil {
+		return 0
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return 0
+	}
+	boxed := 0
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxesInto(pkg, pt, arg) {
+			boxed++
+		}
+	}
+	return boxed
+}
+
+// boxesInto reports whether expression e of concrete type would be boxed
+// when assigned to target type dst. Untyped nil, interface-to-interface
+// assignments and pointer-shaped values (pointers, channels, maps,
+// funcs — stored directly in the interface word) do not allocate.
+func boxesInto(pkg *Package, dst types.Type, e ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// litCaptureCount counts the outer variables a func literal captures:
+// identifiers resolving to variables declared outside the literal that
+// are neither package-level nor struct fields.
+func litCaptureCount(pkg *Package, lit *ast.FuncLit) int {
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == pkg.Types.Scope() {
+			return true // package-level, not a capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		return true
+	})
+	return len(seen)
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// orderingNames are the declared-function names treated as event-ordering
+// functions: comparators, tie-breaks and hashes whose result feeds a
+// sort, a heap or a dedup decision. The parallel engine merges shard
+// streams with exactly these functions; an impure one makes the merge
+// order depend on evaluation order, which differs between the sequential
+// and the sharded engine.
+var orderingNames = map[string]bool{
+	"Less":    true,
+	"less":    true,
+	"Compare": true,
+	"compare": true,
+	"Cmp":     true,
+	"cmp":     true,
+	"Hash":    true,
+	"hash":    true,
+}
+
+// Purity is the second shard-safety analyzer: ordering functions —
+// comparison/tie-break/hash functions used for event ordering — must be
+// pure. It checks every declared function whose name is an ordering name
+// (Less/Compare/Cmp/Hash, either case) and every function literal passed
+// to a sort call (package sort or slices), and reports:
+//
+//   - stores to anything declared outside the function (the comparison
+//     must not move state);
+//   - channel operations or goroutine launches;
+//   - map iteration (order-random, so the comparison result could be);
+//   - reads of package-level mutable variables (a global the merge order
+//     would silently depend on).
+type Purity struct{}
+
+// Name implements Analyzer.
+func (Purity) Name() string { return "purity" }
+
+// Doc implements Analyzer.
+func (Purity) Doc() string {
+	return "require event-ordering functions (Less/Compare/Cmp/Hash, sort closures) to be pure"
+}
+
+// Check implements Analyzer.
+func (Purity) Check(pkg *Package) []Diagnostic {
+	if !strings.HasPrefix(pkg.Rel, "internal/") {
+		return nil
+	}
+	// mutable is the set of package-level variables written anywhere in
+	// the package: reading one inside a comparator is a hidden input.
+	mutable := map[*types.Var]bool{}
+	g := BuildCallGraph(pkg)
+	for _, v := range g.MutableVars() {
+		mutable[v] = true
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if orderingNames[fd.Name.Name] {
+				diags = append(diags, checkPure(pkg, declName(fd), fd.Body, mutable)...)
+			}
+			// Sort closures nested anywhere in the function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSortCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						pos := pkg.Fset.Position(lit.Pos())
+						name := fmt.Sprintf("sort closure at line %d", pos.Line)
+						diags = append(diags, checkPure(pkg, name, lit.Body, mutable)...)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isSortCall reports whether the call is into package sort or slices —
+// the places an ordering closure is handed to.
+func isSortCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sort" || path == "slices"
+}
+
+// checkPure walks one ordering-function body and reports every impurity.
+func checkPure(pkg *Package, name string, body *ast.BlockStmt, mutable map[*types.Var]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "purity",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	// localVar reports whether e's base identifier is declared inside
+	// body (a scratch local — writing those is fine).
+	localVar := func(e ast.Expr) bool {
+		id := baseIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pkg.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		return v.Pos() >= body.Pos() && v.Pos() < body.End()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id := baseIdent(lhs); id != nil && id.Name == "_" {
+					continue
+				}
+				if !localVar(lhs) {
+					report(n.Pos(), "ordering function %s writes to %s: event-ordering comparisons must be pure so shard merges reproduce the sequential order", name, exprString(lhs))
+				}
+			}
+		case *ast.IncDecStmt:
+			if !localVar(n.X) {
+				report(n.Pos(), "ordering function %s writes to %s: event-ordering comparisons must be pure so shard merges reproduce the sequential order", name, exprString(n.X))
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "ordering function %s launches a goroutine: event ordering must be pure and single-threaded", name)
+		case *ast.SendStmt:
+			report(n.Pos(), "ordering function %s sends on a channel: event ordering must be pure", name)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "ordering function %s receives from a channel: event ordering must be pure", name)
+			}
+		case *ast.SelectStmt:
+			report(n.Pos(), "ordering function %s selects on channels: event ordering must be pure", name)
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n.For, "ordering function %s iterates a map: map order is random per run, so the comparison result would be too", name)
+				}
+			}
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[n].(*types.Var); ok && mutable[v] {
+				report(n.Pos(), "ordering function %s reads package-level mutable var %s: a hidden input the shard merge order would depend on", name, v.Name())
+			}
+		}
+		return true
+	})
+	return diags
+}

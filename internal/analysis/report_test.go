@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestReportMatchesGolden pins the shard-safety audit of this repository.
+// The golden is the gate for the parallel simulation engine: a package may
+// only change class here deliberately, with the golden regenerated via
+//
+//	go run ./cmd/pmlint --report ./... > internal/analysis/testdata/pmlint_report.golden
+//
+// and the diff reviewed in the same commit.
+func TestReportMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	got := RenderReport(AuditPackages(pkgs))
+	want, err := os.ReadFile("testdata/pmlint_report.golden")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from testdata/pmlint_report.golden;\nregenerate with: go run ./cmd/pmlint --report ./...\ngot:\n%s", got)
+	}
+}
+
+// TestReportDeterministic renders the audit twice from independent loads
+// and requires byte-identical output: the report is pinned in CI, so any
+// map-order or position nondeterminism would make the golden flaky.
+func TestReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	render := func() string {
+		pkgs, err := LoadModule(".")
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		return RenderReport(AuditPackages(pkgs))
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("two renders differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestAuditClassification exercises the class ladder on the shard fixture,
+// which has real sharedstate violations and mutable package state.
+func TestAuditClassification(t *testing.T) {
+	pkg := loadShardFixture(t)
+	audits := AuditPackages([]*Package{pkg})
+	if len(audits) != 1 {
+		t.Fatalf("got %d audits, want 1", len(audits))
+	}
+	a := audits[0]
+	if a.Class != "violations" {
+		t.Errorf("shard fixture classified %q, want violations", a.Class)
+	}
+	if a.Roots != 5 {
+		t.Errorf("shard fixture has %d roots, want 5", a.Roots)
+	}
+	if a.MutableVars == 0 {
+		t.Errorf("shard fixture reports no mutable package vars")
+	}
+	if len(a.Violations) == 0 {
+		t.Errorf("shard fixture reports no violations")
+	}
+}

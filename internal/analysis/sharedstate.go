@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SharedState is the first shard-safety analyzer: it proves (or
+// disproves) that the package's event handlers share no mutable state
+// outside the event queue. The parallel (conservative-PDES) engine the
+// ROADMAP targets runs handler roots on different shards; any state two
+// roots can reach off the queue is a data race there and a hidden
+// ordering dependency already in the sequential engine.
+//
+// It reports:
+//
+//   - a package-level variable that is written somewhere in the package
+//     and reachable (over the static call graph, which excludes queue
+//     edges) from two or more event-handler roots, with at least one
+//     reachable write;
+//   - a local variable captured by two or more scheduled handler
+//     literals where at least one of them writes it (captured loop or
+//     setup state smuggled between handlers).
+type SharedState struct{}
+
+// Name implements Analyzer.
+func (SharedState) Name() string { return "sharedstate" }
+
+// Doc implements Analyzer.
+func (SharedState) Doc() string {
+	return "forbid mutable state reachable from two event-handler roots without queue mediation"
+}
+
+// Check implements Analyzer.
+func (SharedState) Check(pkg *Package) []Diagnostic {
+	if !strings.HasPrefix(pkg.Rel, "internal/") {
+		return nil
+	}
+	g := BuildCallGraph(pkg)
+	roots := g.HandlerRoots()
+	if len(roots) < 2 {
+		// One handler (or none) cannot share state with another; the
+		// package is trivially shard-safe today.
+		return nil
+	}
+	var diags []Diagnostic
+	diags = append(diags, sharedPackageVars(pkg, g, roots)...)
+	diags = append(diags, sharedCaptures(roots)...)
+	return diags
+}
+
+// sharedPackageVars flags package-level mutable variables reachable from
+// two or more handler roots. The diagnostic lands on the variable's
+// first reachable access so a //pmlint:allow can sit next to the code
+// that shares the state.
+func sharedPackageVars(pkg *Package, g *CallGraph, roots []*CGNode) []Diagnostic {
+	// Accesses of the same variable from different nodes are distinct
+	// *VarAccess values, so aggregate per *types.Var.
+	type varInfo struct {
+		first   *VarAccess
+		roots   []*CGNode
+		written bool
+	}
+	infos := map[interface{}]*varInfo{}
+	var order []interface{}
+	for _, root := range roots {
+		for _, n := range g.Reachable(root) {
+			accesses := make([]*VarAccess, 0, len(n.Reads())+len(n.Writes()))
+			accesses = append(accesses, n.Reads()...)
+			accesses = append(accesses, n.Writes()...)
+			for _, a := range accesses {
+				info := infos[a.Var]
+				if info == nil {
+					info = &varInfo{first: a}
+					infos[a.Var] = info
+					order = append(order, a.Var)
+				}
+				if less(a.Pos, info.first.Pos) {
+					info.first = a
+				}
+				info.written = info.written || a.Written
+				if len(info.roots) == 0 || info.roots[len(info.roots)-1] != root {
+					info.roots = append(info.roots, root)
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, key := range order {
+		info := infos[key]
+		if len(info.roots) < 2 || !info.written {
+			continue
+		}
+		names := make([]string, 0, len(info.roots))
+		for _, r := range info.roots {
+			names = append(names, r.Name)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      info.first.Pos,
+			Analyzer: "sharedstate",
+			Message: fmt.Sprintf(
+				"package-level var %s is mutable and reachable from %d event-handler roots (%s) without queue mediation: shard-unsafe shared state; route it through the event queue or make it handler-local",
+				info.first.Var.Name(), len(info.roots), strings.Join(names, ", ")),
+		})
+	}
+	return diags
+}
+
+// sharedCaptures flags a local variable captured by two or more handler
+// literals with at least one captured write: loop or setup state the
+// handlers would race on once sharded.
+func sharedCaptures(roots []*CGNode) []Diagnostic {
+	type capInfo struct {
+		first   *VarAccess
+		roots   []*CGNode
+		written bool
+	}
+	infos := map[interface{}]*capInfo{}
+	var order []interface{}
+	for _, root := range roots {
+		if root.Lit == nil {
+			continue
+		}
+		for _, a := range root.Captures() {
+			info := infos[a.Var]
+			if info == nil {
+				info = &capInfo{first: a}
+				infos[a.Var] = info
+				order = append(order, a.Var)
+			}
+			if less(a.Pos, info.first.Pos) {
+				info.first = a
+			}
+			info.written = info.written || a.Written
+			info.roots = append(info.roots, root)
+		}
+	}
+	var diags []Diagnostic
+	for _, key := range order {
+		info := infos[key]
+		if len(info.roots) < 2 || !info.written {
+			continue
+		}
+		names := make([]string, 0, len(info.roots))
+		for _, r := range info.roots {
+			names = append(names, r.Name)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      info.first.Pos,
+			Analyzer: "sharedstate",
+			Message: fmt.Sprintf(
+				"local %s is captured and written by %d scheduled handlers (%s): handler state must cross shards through the event queue, not a shared closure",
+				info.first.Var.Name(), len(info.roots), strings.Join(names, ", ")),
+		})
+	}
+	return diags
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -9,6 +10,10 @@ import (
 // or the line directly above:
 //
 //	//pmlint:allow <analyzer> <reason>
+//
+// Directives stack: a run of consecutive directive-only lines acts as
+// one block, and every directive in the run covers the line directly
+// below the run. A blank or code line breaks the run.
 const allowPrefix = "//pmlint:allow"
 
 // suppressSet records which analyzer is allowed on which line of which
@@ -69,6 +74,24 @@ func suppressions(pkg *Package, known map[string]bool) (suppressSet, []Diagnosti
 					lines[pos.Line] = map[string]bool{}
 				}
 				lines[pos.Line][name] = true
+			}
+		}
+	}
+	// Stack runs of consecutive directive lines: propagate each line's
+	// analyzers onto the next directive line, so the run's last line
+	// carries the whole block and allows() sees it one line above the
+	// diagnostic.
+	for _, lines := range set {
+		nums := make([]int, 0, len(lines))
+		for l := range lines {
+			nums = append(nums, l)
+		}
+		sort.Ints(nums)
+		for _, l := range nums {
+			if next := lines[l+1]; next != nil {
+				for name := range lines[l] {
+					next[name] = true
+				}
 			}
 		}
 	}

@@ -1,0 +1,63 @@
+// Package hot exercises the hotpath allocation lint: functions carrying
+// the //pmlint:hotpath directive must not box, iterate maps, or capture.
+package hot
+
+import "fmt"
+
+type msg struct {
+	id   int
+	tags map[string]int
+}
+
+//pmlint:hotpath
+func send(m *msg, sink func(interface{})) {
+	sink(m.id)                // want `call boxes 1 concrete value\(s\) into interface parameters`
+	for tag := range m.tags { // want `map iteration allocates a hash iterator`
+		_ = tag
+	}
+	n := 0
+	cb := func() { n++ } // want `closure captures 1 outer variable\(s\)`
+	cb()
+}
+
+//pmlint:hotpath
+func format(m *msg) string {
+	return fmt.Sprintf("msg %d tag %d", m.id, len(m.tags)) // want `call boxes 2 concrete value\(s\) into interface parameters`
+}
+
+//pmlint:hotpath
+func stash(m *msg) {
+	var v interface{}
+	v = m.id // want `assignment boxes 1 concrete value\(s\) into interface variables`
+	_ = v
+}
+
+//pmlint:hotpath
+func declare(m *msg) {
+	var v interface{} = m.id // want `var declaration boxes 1 concrete value\(s\) into interface variables`
+	var p interface{} = m    // pointer-shaped: stored in the interface word, no box
+	var q = m.id             // adopts the value's type, no interface involved
+	_, _, _ = v, p, q
+}
+
+//pmlint:hotpath
+func box(m *msg) interface{} {
+	return m.id // want `return boxes 1 concrete value\(s\) into interface results`
+}
+
+//pmlint:hotpath
+func guarded(m *msg) {
+	if m.id < 0 {
+		panic(fmt.Sprintf("bad id %d", m.id)) //pmlint:allow hotpath cold panic guard, never taken per message
+	}
+}
+
+//pmlint:hotpath
+func clean(m *msg, out []int) []int {
+	return append(out, m.id)
+}
+
+// coldPath has no directive: boxing here is not budgeted.
+func coldPath(m *msg) string {
+	return fmt.Sprintf("msg %d", m.id)
+}

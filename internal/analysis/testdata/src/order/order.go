@@ -1,0 +1,73 @@
+// Package order exercises the purity analyzer: event-ordering functions
+// (Less/Compare/Cmp/Hash and sort closures) must be pure.
+package order
+
+import "sort"
+
+// tick is package-level and written by advance, so it is mutable state:
+// an ordering function reading it has a hidden input.
+var tick int
+
+func advance() { tick++ }
+
+type ev struct{ at, seq int }
+
+type byAt struct {
+	evs  []ev
+	hits int
+}
+
+func (b *byAt) Len() int      { return len(b.evs) }
+func (b *byAt) Swap(i, j int) { b.evs[i], b.evs[j] = b.evs[j], b.evs[i] }
+
+func (b *byAt) Less(i, j int) bool {
+	b.hits++ // want `ordering function \(byAt\)\.Less writes to b\.hits`
+	return b.evs[i].at < b.evs[j].at
+}
+
+func compare(a, b ev) int {
+	if tick > 0 { // want `ordering function compare reads package-level mutable var tick`
+		return 0
+	}
+	return a.at - b.at
+}
+
+type weighted struct{ weights map[int]int }
+
+func (w *weighted) Hash(e ev) int {
+	sum := 0
+	for k := range w.weights { // want `ordering function \(weighted\)\.Hash iterates a map` `map iteration accumulates into sum`
+		sum += k
+	}
+	return sum + e.at
+}
+
+type chanCmp struct{ done chan int }
+
+func (c *chanCmp) Compare(a, b ev) int {
+	c.done <- a.at // want `ordering function \(chanCmp\)\.Compare sends on a channel`
+	return a.at - b.at
+}
+
+func (b *byAt) Cmp(x, y ev) int {
+	go advance() // want `ordering function \(byAt\)\.Cmp launches a goroutine`
+	return x.at - y.at
+}
+
+func sortEvents(evs []ev) {
+	calls := 0
+	sort.Slice(evs, func(i, j int) bool {
+		calls++ // want `ordering function sort closure at line \d+ writes to calls`
+		return evs[i].at < evs[j].at
+	})
+	_ = calls
+}
+
+// less is pure: local scratch writes and reads of its arguments only.
+func less(a, b ev) bool {
+	d := a.at - b.at
+	if d == 0 {
+		d = a.seq - b.seq
+	}
+	return d < 0
+}

@@ -1,0 +1,41 @@
+// Package shard exercises the sharedstate analyzer: mutable state
+// reachable from two event-handler roots without queue mediation.
+package shard
+
+import "powermanna/internal/sim"
+
+// inflight is written by two scheduled handlers via bump — the canonical
+// shard-unsafe shared counter.
+var inflight int
+
+// table is only ever read: not state the shard refactor must mediate.
+var table = []int{1, 2, 3}
+
+func setup(s *sim.Scheduler) {
+	pending := 0
+	s.At(0, func() {
+		bump()
+	})
+	s.After(sim.Time(10), func() {
+		bump()
+	})
+	s.At(sim.Time(5), func() {
+		pending++ // want `local pending is captured and written by 2 scheduled handlers`
+	})
+	s.At(sim.Time(6), func() {
+		pending++
+	})
+	_ = pending
+}
+
+func bump() {
+	inflight++ // want `package-level var inflight is mutable and reachable from 2 event-handler roots`
+	_ = table[0]
+}
+
+// lone is the only handler touching solo: one root cannot share.
+var solo int
+
+func lone(s *sim.Scheduler) {
+	s.At(0, func() { solo++ })
+}

@@ -1,0 +1,48 @@
+// Package tflow exercises the timeflow analyzer: sim.Time advances
+// monotonically and never lives in package-level state.
+package tflow
+
+import "powermanna/internal/sim"
+
+var lastSeen sim.Time // want `package-level var lastSeen holds sim\.Time`
+
+var deadlines = map[int]sim.Time{} // want `package-level var deadlines holds sim\.Time`
+
+// count carries no timestamp: fine at package level (as far as timeflow
+// is concerned; sharedstate polices whether handlers share it).
+var count int
+
+type span struct{ start, end sim.Time }
+
+var spans []span // want `package-level var spans holds sim\.Time`
+
+func rewind(now sim.Time) sim.Time {
+	now -= sim.Nanosecond // want `now -= moves a simulation clock backwards`
+	return now
+}
+
+type clockbox struct{ clock sim.Time }
+
+func (c *clockbox) tickBack() {
+	c.clock-- // want `c\.clock-- moves a simulation clock backwards`
+}
+
+// fine only advances time, and a deadline named for what it is may be
+// decremented without looking like a clock.
+func fine(at sim.Time, budget sim.Time) sim.Time {
+	at += sim.Nanosecond
+	budget -= sim.Nanosecond
+	_ = budget
+	return at
+}
+
+func use() {
+	lastSeen = 0
+	deadlines[0] = 0
+	count++
+	spans = nil
+	var c clockbox
+	c.tickBack()
+	_ = rewind(0)
+	_ = fine(0, 0)
+}

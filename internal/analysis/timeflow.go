@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Timeflow is the third shard-safety analyzer: sim.Time must only move
+// monotonically and never be stored in non-handler-owned state. The
+// conservative lookahead the parallel engine depends on assumes each
+// shard's clock only advances and that no stale timestamp can leak in
+// from state outside the handler. It reports:
+//
+//   - a package-level variable whose type contains sim.Time — a
+//     timestamp parked where every shard could see it is exactly the
+//     stale-clock hazard lookahead cannot tolerate;
+//   - `-=` or `--` applied to a sim.Time lvalue whose name says it is a
+//     clock (now/clock): a clock that moves backwards breaks the
+//     monotone-time invariant outright.
+type Timeflow struct{}
+
+// Name implements Analyzer.
+func (Timeflow) Name() string { return "timeflow" }
+
+// Doc implements Analyzer.
+func (Timeflow) Doc() string {
+	return "require sim.Time to advance monotonically and never live in package-level state"
+}
+
+// clockName matches lvalue names that denote a current-time clock.
+var clockName = regexp.MustCompile(`(?i)(now|clock)$`)
+
+// Check implements Analyzer.
+func (Timeflow) Check(pkg *Package) []Diagnostic {
+	if !strings.HasPrefix(pkg.Rel, "internal/") {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "timeflow",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := pkg.Info.Defs[name].(*types.Var)
+					if !ok || v.Parent() != pkg.Types.Scope() {
+						continue
+					}
+					if containsSimTime(v.Type(), nil) {
+						report(name.Pos(),
+							"package-level var %s holds sim.Time: timestamps must live in handler-owned state or event payloads, never in package state a stale shard could read",
+							name.Name)
+					}
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isClockLvalue(pkg, lhs) {
+						report(n.Pos(),
+							"%s -= moves a simulation clock backwards: sim.Time must advance monotonically (conservative lookahead depends on it)",
+							exprString(lhs))
+					}
+				}
+			case *ast.IncDecStmt:
+				if n.Tok == token.DEC && isClockLvalue(pkg, n.X) {
+					report(n.Pos(),
+						"%s-- moves a simulation clock backwards: sim.Time must advance monotonically (conservative lookahead depends on it)",
+						exprString(n.X))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isClockLvalue reports whether e has type sim.Time and a name that says
+// it is a clock (…now, …clock, any case).
+func isClockLvalue(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil || !isSimTime(t) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return clockName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return clockName.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+// isSimTime reports whether t is the named type sim.Time.
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
+}
+
+// containsSimTime reports whether t contains sim.Time anywhere in its
+// structure (fields, elements, map keys/values). seen guards against
+// recursive types.
+func containsSimTime(t types.Type, seen map[types.Type]bool) bool {
+	if isSimTime(t) {
+		return true
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSimTime(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSimTime(u.Elem(), seen)
+	case *types.Slice:
+		return containsSimTime(u.Elem(), seen)
+	case *types.Pointer:
+		return containsSimTime(u.Elem(), seen)
+	case *types.Map:
+		return containsSimTime(u.Key(), seen) || containsSimTime(u.Elem(), seen)
+	case *types.Chan:
+		return containsSimTime(u.Elem(), seen)
+	}
+	return false
+}

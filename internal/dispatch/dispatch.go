@@ -23,8 +23,23 @@ package dispatch
 import (
 	"fmt"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/sim"
 	"powermanna/internal/trace"
+)
+
+// Metric names PublishMetrics feeds; pmfault --metrics dumps them.
+const (
+	// MetricAddrOccupancyBP is the serialized address/snoop path's tenure
+	// occupancy in basis points (10000 = the path never idle): the
+	// dispatcher's scaling limit from Section 2, as a gauge.
+	MetricAddrOccupancyBP = "dispatch.addr-tenure.occupancy-bp"
+	// MetricDataOccupancyBP is the mean per-master data-path tenure
+	// occupancy in basis points (the ADSP switch gives each master its
+	// own point-to-point data path).
+	MetricDataOccupancyBP = "dispatch.data-tenure.occupancy-bp"
+	// MetricCompleted counts transactions the dispatcher completed.
+	MetricCompleted = "dispatch.txns.completed"
 )
 
 // Kind is a bus transaction type.
@@ -229,6 +244,24 @@ func (d *Dispatcher) traceSpan(unit int, name string, from, until int64) {
 
 // Stats returns accumulated counters.
 func (d *Dispatcher) Stats() Stats { return d.stats }
+
+// PublishMetrics writes the dispatcher's tenure-occupancy gauges and
+// completion counter into the registry: address-path occupancy (the
+// sequentialized snoop path that bounds node scaling) and mean data-path
+// occupancy across the masters' point-to-point paths, both in basis
+// points of the elapsed cycles. No-op on a nil registry or before the
+// first cycle.
+func (d *Dispatcher) PublishMetrics(m *metrics.Registry) {
+	if m == nil || d.cycle == 0 {
+		return
+	}
+	const basisPoints = 10000
+	addr := d.stats.AddressTenures * int64(d.cfg.AddressCycles) * basisPoints / d.cycle
+	data := d.stats.DataTenures * int64(d.cfg.DataCycles) * basisPoints / (d.cycle * int64(d.cfg.Masters))
+	m.Gauge(MetricAddrOccupancyBP).Set(addr)
+	m.Gauge(MetricDataOccupancyBP).Set(data)
+	m.Counter(MetricCompleted).Add(d.stats.Completed)
+}
 
 // Submit presents a transaction from a master. It is queued until the
 // master has a free pipeline slot. Returns the transaction handle.

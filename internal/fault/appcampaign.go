@@ -292,6 +292,9 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 		res.Schedule = inj.Events()
 		res.PlaneA = net.PlaneCounterSet(topo.NetworkA)
 		res.PlaneB = net.PlaneCounterSet(topo.NetworkB)
+		if opt.Metrics != nil && rate == c.Rates[len(c.Rates)-1] {
+			publishDispatchOccupancy(opt.Metrics, net)
+		}
 	}
 	return res, nil
 }

@@ -361,6 +361,9 @@ func Run(c Campaign, opt Options) (*Result, error) {
 		if c.PerXbar {
 			res.Xbars = xbarTable(net, opt.Topology)
 		}
+		if opt.Metrics != nil && rate == c.Rates[len(c.Rates)-1] {
+			publishDispatchOccupancy(opt.Metrics, net)
+		}
 	}
 	return res, nil
 }

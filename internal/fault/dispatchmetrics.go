@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"powermanna/internal/dispatch"
+	"powermanna/internal/metrics"
+	"powermanna/internal/netsim"
+	"powermanna/internal/topo"
+)
+
+// publishDispatchOccupancy replays the metrics row's delivered traffic
+// through the reference dispatcher (internal/dispatch) and publishes its
+// tenure-occupancy gauges. The campaign's network models stop at the NI;
+// inside the node, every delivered message is absorbed by a coherent
+// read of the landed line over the MPC620 bus (the NI masters the
+// transfer, the CPU snoops), so the replay submits one Read per
+// delivered message, alternating the node's two masters. The replay is
+// a pure function of the delivery count — deterministic, and it touches
+// no network state, so the netsim instruments and goldens are unchanged.
+func publishDispatchOccupancy(m *metrics.Registry, net *netsim.Network) {
+	if m == nil {
+		return
+	}
+	delivered := net.Plane(topo.NetworkA).Delivered + net.Plane(topo.NetworkB).Delivered
+	if delivered == 0 {
+		return
+	}
+	cfg := dispatch.DefaultConfig()
+	d := dispatch.New(cfg, nil)
+	const lineBytes = 64
+	for i := int64(0); i < delivered; i++ {
+		d.Submit(int(i)%cfg.Masters, dispatch.Read, uint64(i)*lineBytes)
+	}
+	// Generous drain budget: a transaction's full serial cost per message
+	// plus slack; the engine stops at idle long before.
+	budget := delivered*int64(cfg.AddressCycles+cfg.SnoopLagCycles+cfg.MemoryCycles+cfg.DataCycles) + int64(cfg.MaxOutstanding*cfg.DataCycles)
+	d.RunUntilIdle(budget)
+	d.PublishMetrics(m)
+}

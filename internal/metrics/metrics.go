@@ -111,6 +111,8 @@ type Histogram struct {
 }
 
 // Observe tallies one value. No-op on a nil histogram.
+//
+//pmlint:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -133,6 +135,8 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // ObserveTime tallies one simulated duration. No-op on a nil histogram.
+//
+//pmlint:hotpath
 func (h *Histogram) ObserveTime(t sim.Time) { h.Observe(int64(t)) }
 
 // Count reports the observation count (0 on a nil histogram).

@@ -52,9 +52,11 @@ type netInstruments struct {
 
 // SetMetrics attaches a metrics registry: the failover send path feeds
 // send outcome counters and latency/detection histograms, and every
-// crossbar feeds the shared arbitration instruments. A nil registry
-// detaches everything — the default state, costing the instrumented
-// paths one nil check per observation.
+// crossbar feeds the shared arbitration instruments plus the per-plane
+// arbitration-wait histogram of the plane it serves (per the topology's
+// CrossbarPlanes flood; unreachable crossbars feed only the shared
+// instrument). A nil registry detaches everything — the default state,
+// costing the instrumented paths one nil check per observation.
 func (n *Network) SetMetrics(m *metrics.Registry) {
 	if m == nil {
 		n.met = netInstruments{}
@@ -69,8 +71,13 @@ func (n *Network) SetMetrics(m *metrics.Registry) {
 			detection:     m.TimeHistogram(MetricDetection, latencyBuckets()),
 		}
 	}
-	for _, x := range n.xbars {
-		x.Metrics(m)
+	planes := n.topo.CrossbarPlanes()
+	for i, x := range n.xbars {
+		label := ""
+		if planes[i] >= 0 {
+			label = planeName(planes[i])
+		}
+		x.Metrics(m, label)
 	}
 }
 

@@ -205,6 +205,8 @@ func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, 
 // path abort the attempt outright. Failed attempts claim no resources —
 // the partial circuit the real header would briefly hold until teardown
 // is not modelled (DESIGN.md, failover timing).
+//
+//pmlint:hotpath
 func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeout sim.Time) (Transit, error) {
 	if payloadBytes < 0 {
 		return Transit{}, fmt.Errorf("netsim: negative payload")
@@ -304,7 +306,7 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 			track, cat = trace.OSTrack(), "os"
 		}
 		n.rec.SpanArg(track, cat, "msg", at, last,
-			fmt.Sprintf("%d->%d plane %s, %dB", path.Src, path.Dst, planeName(path.Network), payloadBytes))
+			fmt.Sprintf("%d->%d plane %s, %dB", path.Src, path.Dst, planeName(path.Network), payloadBytes)) //pmlint:allow hotpath trace-gated formatting, tracing runs pay for the labels
 		n.rec.Span(track, cat, "setup", at, head)
 		n.rec.Span(track, cat, "stream", head, last)
 		if corrupted {

@@ -120,6 +120,8 @@ func (t *Transport) PlaneDown(plane int) (down bool, reprobeAt sim.Time) {
 
 // Route returns the cached route from the transport's source to dst on
 // the given plane, computing and caching it on first use.
+//
+//pmlint:hotpath
 func (t *Transport) Route(dst, plane int) (topo.Path, error) {
 	if t.routes == nil || dst < 0 || dst >= len(t.routes) {
 		return t.net.topo.Route(t.src, dst, plane)
@@ -135,7 +137,7 @@ func (t *Transport) Route(dst, plane int) (topo.Path, error) {
 		}
 	}
 	if e.state[plane] == routeNone {
-		return topo.Path{}, fmt.Errorf("netsim: no plane-%s route %d->%d", planeName(plane), t.src, dst)
+		return topo.Path{}, fmt.Errorf("netsim: no plane-%s route %d->%d", planeName(plane), t.src, dst) //pmlint:allow hotpath cold unwired-plane path, cached after the first lookup
 	}
 	return e.path[plane], nil
 }
@@ -145,6 +147,8 @@ func (t *Transport) Route(dst, plane int) (topo.Path, error) {
 // plane-down cache short-circuiting attempts to a known-dead plane. See
 // Network.SendReliable for the protocol's timing accounting; Send adds
 // the cache on top.
+//
+//pmlint:hotpath
 func (t *Transport) Send(at sim.Time, dst, payloadBytes int) (Delivery, error) {
 	return t.sendWith(at, dst, payloadBytes, t.cfg)
 }
@@ -167,6 +171,8 @@ func (t *Transport) markDown(plane int, detectedAt sim.Time, cfg FailoverConfig)
 
 // sendWith runs the failover protocol and tallies the outcome into the
 // network's metrics instruments (no-ops when no registry is attached).
+//
+//pmlint:hotpath
 func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
 	d, err := t.sendProtocol(at, dst, payloadBytes, cfg)
 	if err == nil {
@@ -185,10 +191,12 @@ func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverCon
 // the first pass skipped cached-down planes without delivering, a second
 // pass probes them for real (the cache is a latency optimisation, not an
 // availability decision).
+//
+//pmlint:hotpath
 func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg FailoverConfig) (Delivery, error) {
 	n := t.net
 	if dst < 0 || dst >= n.topo.Nodes() {
-		return Delivery{}, fmt.Errorf("netsim: node out of range (%d, %d)", t.src, dst)
+		return Delivery{}, fmt.Errorf("netsim: node out of range (%d, %d)", t.src, dst) //pmlint:allow hotpath cold bad-argument path, never taken per message
 	}
 	if payloadBytes < 0 {
 		return Delivery{}, fmt.Errorf("netsim: negative payload")
@@ -256,7 +264,7 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 	}
 	if n.rec.Enabled() {
 		n.rec.InstantArg(trace.NodeTrack(t.src), "failover", "send-failed", st.attemptAt(),
-			fmt.Sprintf("%d->%d after %d attempts", t.src, dst, st.attempts))
+			fmt.Sprintf("%d->%d after %d attempts", t.src, dst, st.attempts)) //pmlint:allow hotpath trace-gated formatting on the all-planes-failed path
 	}
 	return Delivery{Attempts: st.attempts, SkippedDown: len(st.skipped), Failed: true, Sent: at, Done: st.attemptAt()}, nil
 }
@@ -275,12 +283,16 @@ type sendState struct {
 }
 
 // attemptAt is the sender's clock for the next attempt.
+//
+//pmlint:hotpath
 func (st *sendState) attemptAt() sim.Time { return st.at + st.elapsed }
 
 // traceAttempt records one failed plane attempt: the detection window
 // (entry to failure detection) into the metrics histogram, and — when
 // tracing — a span labelled with the cause ("fifo-stall", "link-down",
 // "setup-timeout", "crc-nack").
+//
+//pmlint:hotpath
 func (t *Transport) traceAttempt(plane int, from, detected sim.Time, cause string) {
 	t.net.met.detection.ObserveTime(detected - from)
 	if !t.net.rec.Enabled() {
@@ -294,6 +306,8 @@ func (t *Transport) traceAttempt(plane int, from, detected sim.Time, cause strin
 // protocol is over: delivery, or a non-protocol error. A false final
 // means the attempt failed and the clock advanced past its detection
 // window — the caller moves on to the next plane.
+//
+//pmlint:hotpath
 func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, st *sendState) (Delivery, bool, error) {
 	n := t.net
 	// System-software traffic that accumulated up to this attempt's

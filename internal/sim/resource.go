@@ -18,6 +18,8 @@ type Resource struct {
 // Acquire reserves the resource for dur starting no earlier than at,
 // returning the actual start time. The wait (start − at) is the queuing
 // delay caused by contention.
+//
+//pmlint:hotpath
 func (r *Resource) Acquire(at, dur Time) (start Time) {
 	start = Max(at, r.free)
 	r.free = start + dur

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a scheduled callback. Events at equal times fire in scheduling
 // order (seq breaks ties), which keeps every simulation deterministic.
@@ -13,23 +10,60 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap over (at, seq). It replaces
+// container/heap, whose interface{} Push/Pop boxed one event per schedule
+// on the hot path; the ordering is total (seq breaks every at tie), so
+// sift order — and therefore pop order — is identical to the old code.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends e and restores the heap invariant.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{} // release the callback so the GC can collect it
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
 }
 
 // Scheduler is a discrete-event simulation loop: a time-ordered queue of
@@ -59,24 +93,30 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is a model bug and panics.
+//
+//pmlint:hotpath
 func (s *Scheduler) At(t Time, fn func()) {
 	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now)) //pmlint:allow hotpath cold panic guard for a model bug, never taken per event
 	}
 	s.seq++
-	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
+//
+//pmlint:hotpath
 func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
 
 // Step dispatches the next event, advancing time to it. It reports whether
 // an event was dispatched.
+//
+//pmlint:hotpath
 func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(event)
+	e := s.queue.pop()
 	s.now = e.at
 	s.nsteps++
 	e.fn()

@@ -29,6 +29,13 @@ import (
 // observed; the opened/blocked counters carry the ratio).
 const MetricArbWait = "xbar.arb-wait"
 
+// MetricArbWaitPlanePrefix prefixes the per-plane arbitration-wait
+// histograms ("xbar.arb-wait.plane-A", "xbar.arb-wait.plane-B"): the
+// same waits as MetricArbWait, split by the network plane the crossbar
+// serves, so a fault campaign can see plane-B arbitration heat up while
+// plane-A failovers land on it.
+const MetricArbWaitPlanePrefix = "xbar.arb-wait.plane-"
+
 // Ports is the crossbar radix.
 const Ports = 16
 
@@ -54,6 +61,9 @@ type Crossbar struct {
 	// arbWait, when non-nil, tallies arbitration waits into the shared
 	// MetricArbWait histogram (nil = metrics off, observation no-ops).
 	arbWait *metrics.Histogram
+	// planeWait additionally tallies the same waits into the per-plane
+	// histogram when the owning network attached a plane label.
+	planeWait *metrics.Histogram
 }
 
 // New builds a crossbar.
@@ -70,13 +80,20 @@ func (x *Crossbar) Trace(rec *trace.Recorder, ordinal int) {
 }
 
 // Metrics attaches a metrics registry: arbitration waits land in the
-// shared MetricArbWait time histogram. A nil registry detaches.
-func (x *Crossbar) Metrics(m *metrics.Registry) {
+// shared MetricArbWait time histogram and, when plane is non-empty
+// ("A"/"B", from the owning network's topology), also in the per-plane
+// MetricArbWaitPlanePrefix histogram. A nil registry detaches.
+func (x *Crossbar) Metrics(m *metrics.Registry, plane string) {
 	if m == nil {
-		x.arbWait = nil
+		x.arbWait, x.planeWait = nil, nil
 		return
 	}
-	x.arbWait = m.TimeHistogram(MetricArbWait, metrics.TimeBuckets(200*sim.Nanosecond, 2, 10))
+	buckets := metrics.TimeBuckets(200*sim.Nanosecond, 2, 10)
+	x.arbWait = m.TimeHistogram(MetricArbWait, buckets)
+	x.planeWait = nil
+	if plane != "" {
+		x.planeWait = m.TimeHistogram(MetricArbWaitPlanePrefix+plane, buckets)
+	}
 }
 
 // DecodeRoute interprets a route command byte as an output channel.
@@ -102,9 +119,11 @@ func EncodeRoute(out int) byte {
 // It returns when the circuit is established (route command decoded,
 // arbitration won, crosspoint set): data bytes behind the route byte flow
 // from setup onwards. Contention for a busy output delays setup.
+//
+//pmlint:hotpath
 func (x *Crossbar) Connect(at sim.Time, out int, hold sim.Time) (setup sim.Time) {
 	if out < 0 || out >= Ports {
-		panic(fmt.Sprintf("xbar %s: output %d out of range", x.name, out))
+		panic(fmt.Sprintf("xbar %s: output %d out of range", x.name, out)) //pmlint:allow hotpath cold panic guard for a routing bug, never taken per message
 	}
 	start := x.outputs[out].Acquire(at, RouteSetup+hold)
 	if start > at {
@@ -116,11 +135,14 @@ func (x *Crossbar) Connect(at sim.Time, out int, hold sim.Time) (setup sim.Time)
 }
 
 // traceHold records one circuit's arbitration wait (if any) and its
-// output-channel occupancy: the wait into the metrics histogram, both
-// spans onto the port's track when tracing.
+// output-channel occupancy: the wait into the shared and per-plane
+// metrics histograms, both spans onto the port's track when tracing.
+//
+//pmlint:hotpath
 func (x *Crossbar) traceHold(requested, start, until sim.Time, out int) {
 	if start > requested {
 		x.arbWait.ObserveTime(start - requested)
+		x.planeWait.ObserveTime(start - requested)
 	}
 	if !x.rec.Enabled() {
 		return
@@ -147,12 +169,14 @@ func (x *Crossbar) OutputFreeAt(out int) sim.Time {
 // request means the circuit waited on a busy channel (counted as
 // blocked). Wormhole semantics: the claim covers the full window until
 // the close command passes, even while the worm is stalled downstream.
+//
+//pmlint:hotpath
 func (x *Crossbar) HoldOutput(requested, start, until sim.Time, out int) {
 	if out < 0 || out >= Ports {
-		panic(fmt.Sprintf("xbar %s: output %d out of range", x.name, out))
+		panic(fmt.Sprintf("xbar %s: output %d out of range", x.name, out)) //pmlint:allow hotpath cold panic guard for a routing bug, never taken per message
 	}
 	if until < start {
-		panic(fmt.Sprintf("xbar %s: hold window [%v, %v) inverted", x.name, start, until))
+		panic(fmt.Sprintf("xbar %s: hold window [%v, %v) inverted", x.name, start, until)) //pmlint:allow hotpath cold panic guard for a model bug, never taken per message
 	}
 	x.outputs[out].Acquire(start, until-start)
 	if start > requested {
