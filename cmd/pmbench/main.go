@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"powermanna"
+	"powermanna/internal/psim"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		full     = flag.Bool("full", false, "run full sweeps instead of quick ones")
 		listOnly = flag.Bool("list", false, "list experiment IDs and exit")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of tables and plots")
+		engine   = flag.String("engine", "seq", "event engine for campaign-backed experiments: seq or par (byte-identical output)")
 	)
 	flag.Parse()
 
@@ -36,7 +38,12 @@ func main() {
 		return
 	}
 
-	opt := powermanna.ExperimentOptions{Quick: !*full}
+	eng, err := psim.ParseKind(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt := powermanna.ExperimentOptions{Quick: !*full, Engine: eng}
 	ids := powermanna.ExperimentIDs()
 	if *expFlag != "all" {
 		ids = strings.Split(*expFlag, ",")

@@ -17,12 +17,18 @@
 //	pmfault --campaign heat-linkcut --seed 1
 //	pmfault --campaign mixed --topo system256 --messages 800
 //	pmfault --campaign link-cut --metrics
+//	pmfault --campaign link-cut --engine par
 //	pmfault --list
 //
 // --metrics appends the highest-rate row's deterministic metrics dump
 // (internal/metrics): send outcome counters, latency and detection
-// histograms, crossbar arbitration waits, and for EARTH workloads the
-// runtime's token instruments.
+// histograms, receive waits, crossbar arbitration waits, and for EARTH
+// workloads the runtime's token instruments.
+//
+// --engine selects the event engine: seq runs every degradation row on
+// the sequential scheduler, par gives each row its own shard of the
+// internal/psim parallel engine. The two are byte-identical by
+// construction — CI runs the goldens under both.
 //
 // stdout is a pure function of the flags: two runs with identical flags
 // are byte-identical. CI pins `--campaign link-cut --seed 1` and
@@ -36,6 +42,7 @@ import (
 
 	"powermanna/internal/fault"
 	"powermanna/internal/metrics"
+	"powermanna/internal/psim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 )
@@ -58,9 +65,16 @@ func main() {
 		payload      = flag.Int("payload", fault.DefaultPayloadBytes, "payload bytes per message")
 		windowUS     = flag.Int64("window-us", int64(fault.DefaultWindow/sim.Microsecond), "simulated span in microseconds traffic spreads over")
 		metricsFlag  = flag.Bool("metrics", false, "append the highest-rate row's metrics dump (latency/detection histograms, send outcomes, arb waits)")
+		engineFlag   = flag.String("engine", "seq", "event engine: seq (sequential) or par (one psim shard per degradation row; byte-identical output)")
 		listOnly     = flag.Bool("list", false, "list campaign names and exit")
 	)
 	flag.Parse()
+
+	engine, err := psim.ParseKind(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmfault: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *listOnly {
 		for _, c := range fault.Campaigns() {
@@ -98,6 +112,7 @@ func main() {
 		Messages:     *messages,
 		PayloadBytes: *payload,
 		Window:       sim.Time(*windowUS) * sim.Microsecond,
+		Engine:       engine,
 	}
 	var reg *metrics.Registry
 	if *metricsFlag {

@@ -37,6 +37,11 @@
 //	pmtrace --campaign link-cut --seed 1 --messages 60 > fault.json
 //	pmtrace --campaign central-cut --format profile
 //	pmtrace --campaign heat-linkcut --format diff
+//	pmtrace --campaign link-cut --engine par --seed 1
+//
+// --engine selects the event engine for --campaign runs (seq or par,
+// one psim shard per degradation row); the recorded timeline is
+// byte-identical either way, which CI checks against the goldens.
 package main
 
 import (
@@ -51,6 +56,7 @@ import (
 	"powermanna/internal/fault"
 	"powermanna/internal/mpl"
 	"powermanna/internal/netsim"
+	"powermanna/internal/psim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 	"powermanna/internal/trace"
@@ -71,6 +77,7 @@ func main() {
 		messages     = flag.Int("messages", 0, "messages per campaign row or ping-pong rounds (0 = default)")
 		topN         = flag.Int("top", trace.DefaultProfileTopN, "span names per track in --format profile")
 		windowUS     = flag.Int64("window-us", 0, "utilization window in microseconds (0 = horizon/16)")
+		engineFlag   = flag.String("engine", "seq", "event engine for --campaign runs: seq or par (byte-identical timelines)")
 	)
 	flag.Parse()
 
@@ -79,10 +86,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmtrace: %v\n", err)
 		os.Exit(1)
 	}
+	engine, err := psim.ParseKind(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmtrace: %v\n", err)
+		os.Exit(1)
+	}
 
 	record := func(rec *trace.Recorder, seed int64) error {
 		if *campaignFlag != "" {
-			return runCampaign(rec, *campaignFlag, seed, t, *messages)
+			return runCampaign(rec, *campaignFlag, seed, t, *messages, engine)
 		}
 		return runWorkload(rec, *runFlag, seed, t, *messages)
 	}
@@ -229,8 +241,8 @@ func runDispatch(rec *trace.Recorder, seed int64) error {
 // runCampaign runs a fault campaign with tracing attached; the fault
 // engine records only the highest-rate row, so the timeline is the
 // worst-case machine state the degradation table summarises.
-func runCampaign(rec *trace.Recorder, name string, seed int64, t *topo.Topology, messages int) error {
-	opt := fault.Options{Seed: seed, Topology: t, Trace: rec}
+func runCampaign(rec *trace.Recorder, name string, seed int64, t *topo.Topology, messages int, engine psim.Kind) error {
+	opt := fault.Options{Seed: seed, Topology: t, Trace: rec, Engine: engine}
 	if messages > 0 {
 		opt.Messages = messages
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"powermanna/internal/psim"
 	"powermanna/internal/trace"
 )
 
@@ -15,7 +16,7 @@ func renderChrome(t *testing.T, campaign, run string, seed int64, messages int) 
 	rec := trace.NewRecorder()
 	var err error
 	if campaign != "" {
-		err = runCampaign(rec, campaign, seed, nil, messages)
+		err = runCampaign(rec, campaign, seed, nil, messages, psim.Seq)
 	} else {
 		err = runWorkload(rec, run, seed, nil, messages)
 	}
@@ -91,7 +92,7 @@ func record(t *testing.T, campaign, run string, seed int64, messages int) *trace
 	rec := trace.NewRecorder()
 	var err error
 	if campaign != "" {
-		err = runCampaign(rec, campaign, seed, nil, messages)
+		err = runCampaign(rec, campaign, seed, nil, messages, psim.Seq)
 	} else {
 		err = runWorkload(rec, run, seed, nil, messages)
 	}

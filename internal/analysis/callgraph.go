@@ -14,12 +14,39 @@ import (
 // family (sharedstate, purity, timeflow) and the pmlint --report audit.
 // It builds a per-package static call graph whose distinguished roots are
 // the sim event-handler entry points: every function or function literal
-// scheduled through internal/sim's event queue (Scheduler.At / After).
+// scheduled through a sim event queue — internal/sim's Scheduler.At /
+// After (directly or via the sim.Engine interface), internal/psim's
+// per-shard At / After and cross-shard Engine.Post — plus any declared
+// function carrying the //pmlint:root directive.
 // The edge from the scheduling site to the scheduled callback is
 // deliberately *not* in the graph — crossing the event queue is the one
 // sanctioned way for state to flow between handlers, so reachability
 // from a root describes exactly what that handler can touch without
 // queue mediation.
+
+// rootDirective marks a declared function as an event-handler entry
+// point the schedule-site matcher cannot see. The parallel engine's
+// per-shard worker loop is the motivating case: it drains its shard's
+// queue directly inside a barrier round rather than being passed to
+// At/After, yet everything it calls runs in event-handler context and
+// must obey the same shard-safety rules. Usage, in the doc group:
+//
+//	//pmlint:root
+const rootDirective = "//pmlint:root"
+
+// hasRootDirective reports whether the function's doc group carries the
+// //pmlint:root directive.
+func hasRootDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == rootDirective {
+			return true
+		}
+	}
+	return false
+}
 
 // CGNode is one function in a package's call graph: a declared function
 // or method, or a function literal.
@@ -153,6 +180,7 @@ func BuildCallGraph(pkg *Package) *CallGraph {
 					return true
 				}
 				node := &CGNode{Fn: fn, Name: declName(n), Pos: pkg.Fset.Position(n.Pos())}
+				node.HandlerRoot = hasRootDirective(n)
 				g.byFn[fn] = node
 				g.nodes = append(g.nodes, node)
 			case *ast.FuncLit:
@@ -354,16 +382,31 @@ func (g *CallGraph) collectCaptures(node *CGNode, lit *ast.FuncLit) {
 	})
 }
 
+// scheduleQueues lists the event-queue owners whose At / After / Post
+// methods enqueue work: the sequential scheduler and the Engine
+// interface it satisfies in internal/sim, and the parallel engine's
+// shard plus its cross-shard mailbox in internal/psim.
+var scheduleQueues = []struct {
+	pkgSuffix string
+	typeName  string
+}{
+	{"internal/sim", "Scheduler"},
+	{"internal/sim", "Engine"},
+	{"internal/psim", "Shard"},
+	{"internal/psim", "Engine"},
+}
+
 // scheduleCallback returns the callback argument of a call that enqueues
-// work on internal/sim's event queue (Scheduler.At / Scheduler.After),
-// or nil for any other call. The callback is the final func() argument.
+// work on a sim event queue (Scheduler/Engine/Shard At and After, plus
+// the parallel engine's cross-shard Post), or nil for any other call.
+// The callback is the final func() argument.
 func scheduleCallback(pkg *Package, call *ast.CallExpr) ast.Expr {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return nil
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || (fn.Name() != "At" && fn.Name() != "After") {
+	if !ok || (fn.Name() != "At" && fn.Name() != "After" && fn.Name() != "Post") {
 		return nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -379,8 +422,16 @@ func scheduleCallback(pkg *Package, call *ast.CallExpr) ast.Expr {
 		return nil
 	}
 	obj := named.Obj()
-	if obj.Name() != "Scheduler" || obj.Pkg() == nil ||
-		!strings.HasSuffix(obj.Pkg().Path(), "internal/sim") {
+	if obj.Pkg() == nil {
+		return nil
+	}
+	queue := false
+	for _, q := range scheduleQueues {
+		if obj.Name() == q.typeName && strings.HasSuffix(obj.Pkg().Path(), q.pkgSuffix) {
+			queue = true
+		}
+	}
+	if !queue {
 		return nil
 	}
 	if len(call.Args) == 0 {

@@ -40,6 +40,34 @@ func TestCallGraphRoots(t *testing.T) {
 	}
 }
 
+// TestCallGraphEngineRoots checks the parallel-engine schedule sites:
+// callbacks scheduled through the sim.Engine interface, a psim shard
+// and the cross-shard Post mailbox all root; the //pmlint:root
+// directive promotes a declared worker loop; a lookalike At method on
+// an unrelated type roots nothing.
+func TestCallGraphEngineRoots(t *testing.T) {
+	pkg, err := NewLoader().LoadDir("testdata/src/pqueue", "powermanna/internal/pqueue", "internal/pqueue")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	g := BuildCallGraph(pkg)
+	roots := map[string]bool{}
+	for _, r := range g.HandlerRoots() {
+		roots[r.Name] = true
+	}
+	for _, want := range []string{"ifaceHandler", "shardHandler", "postHandler", "drain"} {
+		if !roots[want] {
+			t.Errorf("%s is not a handler root; roots = %v", want, roots)
+		}
+	}
+	if roots["notAHandler"] {
+		t.Errorf("lookalike At callback notAHandler rooted; the matcher must check the receiver's package")
+	}
+	if len(roots) != 4 {
+		t.Errorf("got %d roots (%v), want 4", len(roots), roots)
+	}
+}
+
 // TestCallGraphReachability checks that queue edges are omitted: the
 // scheduling function does not reach the handlers it schedules, while a
 // handler reaches its callees.

@@ -1,0 +1,49 @@
+// Package pqueue exercises the schedule-site matcher's parallel-engine
+// cases: callbacks scheduled through the sim.Engine interface, through
+// a psim shard, through the cross-shard Post mailbox, and a worker loop
+// promoted to handler root by directive. The lookalike type at the
+// bottom must stay invisible.
+package pqueue
+
+import (
+	"powermanna/internal/psim"
+	"powermanna/internal/sim"
+)
+
+// viaInterface schedules through the sim.Engine interface — the callback
+// must root even though the static type is not *sim.Scheduler.
+func viaInterface(eng sim.Engine) {
+	eng.At(0, ifaceHandler)
+}
+
+func ifaceHandler() {}
+
+// viaShard schedules on a psim shard and posts across shards.
+func viaShard(e *psim.Engine) {
+	e.Shard(0).After(sim.Time(5), shardHandler)
+	e.Post(0, 1, sim.Time(10), postHandler)
+}
+
+func shardHandler() {}
+
+func postHandler() {}
+
+// drain is the directive case: never passed to At/After, yet it runs
+// handler bodies directly and must be audited as a root.
+//
+//pmlint:root
+func drain() {
+	ifaceHandler()
+}
+
+// lookalike has an At method with the right shape but is not an event
+// queue; its callback must not root.
+type lookalike struct{}
+
+func (lookalike) At(t sim.Time, fn func()) {}
+
+func viaLookalike() {
+	lookalike{}.At(0, notAHandler)
+}
+
+func notAHandler() {}

@@ -96,7 +96,7 @@ type SlotRef struct {
 // failing over to plane B like every other software layer.
 type System struct {
 	params Params
-	sched  *sim.Scheduler
+	sched  sim.Engine
 	net    *netsim.Network
 	topo   *topo.Topology
 	nodes  []*nodeState
@@ -156,9 +156,18 @@ func New(t *topo.Topology, p Params) *System {
 // NewWithFailover builds an EARTH system whose per-node transports run
 // the given failover configuration.
 func NewWithFailover(t *topo.Topology, p Params, cfg netsim.FailoverConfig) *System {
+	return NewWithEngine(t, p, cfg, sim.NewScheduler())
+}
+
+// NewWithEngine builds an EARTH system over an explicit event engine —
+// the hook the parallel campaigns use to run a whole EARTH machine on
+// one psim shard, where the shard's heap is the runtime's event queue.
+// The engine must honor sim.Engine's (time, seq) dispatch order; both
+// the sequential scheduler and a psim shard do.
+func NewWithEngine(t *topo.Topology, p Params, cfg netsim.FailoverConfig, eng sim.Engine) *System {
 	s := &System{
 		params: p,
-		sched:  sim.NewScheduler(),
+		sched:  eng,
 		net:    netsim.New(t),
 		topo:   t,
 	}

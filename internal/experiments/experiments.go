@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"powermanna/internal/psim"
 	"powermanna/internal/stats"
 )
 
@@ -29,6 +30,9 @@ type Options struct {
 	// function of (experiment, Options) — the determinism contract
 	// forbids the global math/rand source.
 	Seed int64
+	// Engine selects the event engine for campaign-backed experiments
+	// (psim.Seq or psim.Par); results are byte-identical either way.
+	Engine psim.Kind
 }
 
 // rng builds a fresh explicit generator from the configured seed. Each
@@ -104,6 +108,7 @@ var registry = []struct {
 	{"smartni", SmartNI, "CPU-driven interface vs PCI NIC latency budget (Sections 3.3, 6)"},
 	{"fifosweep", FIFOSweep, "bidirectional bandwidth vs link-interface FIFO size"},
 	{"duallink", DualLink, "single vs dual (duplicated) network links"},
+	{"faultsweep", FaultSweep, "duplicated-network degradation under plane-A link cuts (Section 4)"},
 }
 
 // IDs lists all experiment keys in order.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"powermanna/internal/psim"
 	"powermanna/internal/stats"
 )
 
@@ -15,7 +16,8 @@ func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"table1", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
 		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12",
-		"nodescale", "blocking", "dispatcher", "smartni", "fifosweep", "duallink"}
+		"nodescale", "blocking", "dispatcher", "smartni", "fifosweep", "duallink",
+		"faultsweep"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}
@@ -42,6 +44,25 @@ func TestTable1(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("table1 missing %q", want)
 		}
+	}
+}
+
+func TestFaultSweep(t *testing.T) {
+	r := FaultSweep(quick)
+	if r.Table == nil {
+		t.Fatal("no table")
+	}
+	out := r.Render()
+	for _, want := range []string{"faults", "retried", "inflation", "no message lost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faultsweep missing %q:\n%s", want, out)
+		}
+	}
+	// The engine knob must not change a single byte (the psim
+	// equivalence contract, here at the experiment-harness level).
+	par := FaultSweep(Options{Quick: true, Engine: psim.Par})
+	if got, want := par.Render(), r.Render(); got != want {
+		t.Errorf("faultsweep differs across engines:\nseq:\n%s\npar:\n%s", want, got)
 	}
 }
 

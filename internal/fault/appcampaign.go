@@ -31,8 +31,10 @@ import (
 
 	"powermanna/internal/earth"
 	"powermanna/internal/heat"
+	"powermanna/internal/metrics"
 	"powermanna/internal/mpl"
 	"powermanna/internal/netsim"
+	"powermanna/internal/psim"
 	"powermanna/internal/sim"
 	"powermanna/internal/stats"
 	"powermanna/internal/topo"
@@ -201,46 +203,51 @@ type AppResult struct {
 	PlaneA, PlaneB stats.CounterSet
 }
 
-// RunApp executes the application campaign: for each fault count it
-// builds a fresh world with per-rank transports and the plane-B OS
-// stream, applies a seeded plane-A link-cut schedule up front, runs the
-// workload, and collects a makespan row. Deterministic: same spec and
-// options, byte-identical AppResult.
-func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
-	opt = opt.resolved()
-	if len(c.Rates) == 0 || c.Rates[0] != 0 {
-		return nil, fmt.Errorf("fault: app campaign %q must lead with a 0 rate (it sizes the fault window)", c.Name)
-	}
-	res := &AppResult{Campaign: c, Options: opt}
-	var baseline sim.Time
-	for _, rate := range c.Rates {
-		// Build the workload's runtime: a message-passing world or an
-		// EARTH system, both over a fresh fault-aware network.
+// appOutcome is one application row's full result, written by the
+// row's event stream and read back only after its engine has drained.
+type appOutcome struct {
+	row      AppRow
+	err      error
+	schedule []Event
+	planeA   stats.CounterSet
+	planeB   stats.CounterSet
+}
+
+// runAppRate schedules one application row onto an event engine: a
+// single setup event builds the workload's runtime over a fresh
+// fault-aware network, applies the seeded link-cut schedule up front,
+// runs the workload and closes the accounting. EARTH workloads take
+// the row's engine as their own event queue (earth.NewWithEngine), so
+// under the parallel sweep the runtime's events live on the row's
+// shard heap; message-passing workloads advance rank clocks directly
+// and use the engine only as the row's execution slot.
+func runAppRate(c AppCampaign, opt Options, rate int, observed bool, baseline sim.Time, eng sim.Engine, out *appOutcome) {
+	eng.At(0, func() {
 		var runW func() (sim.Time, error)
 		var net *netsim.Network
-		var sys *earth.System
+		var setMetrics func(*metrics.Registry)
 		if c.EarthWorkload != nil {
-			s := earth.NewWithFailover(opt.Topology, earth.DefaultParams(), netsim.DefaultFailover())
-			net, sys = s.Network(), s
+			s := earth.NewWithEngine(opt.Topology, earth.DefaultParams(), netsim.DefaultFailover(), eng)
+			net = s.Network()
 			runW = func() (sim.Time, error) { return c.EarthWorkload(s) }
+			// EARTH workloads attach through the runtime so the earth.*
+			// instruments come along with the network's.
+			setMetrics = func(m *metrics.Registry) { s.SetMetrics(m) }
 		} else {
 			w := mpl.NewWorldWith(opt.Topology, netsim.DefaultFailover())
 			net = w.Network()
 			runW = func() (sim.Time, error) { return c.Workload(w) }
+			// Message-passing workloads attach through the world so the
+			// mpl.* receive-wait view comes along with the network's.
+			setMetrics = func(m *metrics.Registry) { w.SetMetrics(m) }
 		}
 		net.AttachOSStream(netsim.DefaultOSStream())
-		if rate == c.Rates[len(c.Rates)-1] {
+		if observed {
 			if opt.Trace != nil {
 				net.SetRecorder(opt.Trace)
 			}
 			if opt.Metrics != nil {
-				// EARTH workloads attach through the runtime so the earth.*
-				// instruments come along with the network's.
-				if sys != nil {
-					sys.SetMetrics(opt.Metrics)
-				} else {
-					net.SetMetrics(opt.Metrics)
-				}
+				setMetrics(opt.Metrics)
 			}
 		}
 		var events []Event
@@ -270,13 +277,11 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 		inj.ApplyUntil(last)
 		makespan, err := runW()
 		if err != nil {
-			return nil, fmt.Errorf("fault: app campaign %q at rate %d: %w", c.Name, rate, err)
-		}
-		if rate == 0 {
-			baseline = makespan
+			out.err = fmt.Errorf("fault: app campaign %q at rate %d: %w", c.Name, rate, err)
+			return
 		}
 		pa, pb := net.Plane(topo.NetworkA), net.Plane(topo.NetworkB)
-		row := AppRow{
+		out.row = AppRow{
 			Faults:     rate,
 			Makespan:   makespan,
 			Inflation:  1,
@@ -285,17 +290,66 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 			OSMessages: pb.OSMessages,
 		}
 		if rate > 0 && baseline > 0 {
-			row.Inflation = float64(makespan) / float64(baseline)
+			out.row.Inflation = float64(makespan) / float64(baseline)
 		}
-		res.Rows = append(res.Rows, row)
-		// The sweep's last (highest-rate) run provides the detailed view.
-		res.Schedule = inj.Events()
-		res.PlaneA = net.PlaneCounterSet(topo.NetworkA)
-		res.PlaneB = net.PlaneCounterSet(topo.NetworkB)
-		if opt.Metrics != nil && rate == c.Rates[len(c.Rates)-1] {
+		out.schedule = inj.Events()
+		out.planeA = net.PlaneCounterSet(topo.NetworkA)
+		out.planeB = net.PlaneCounterSet(topo.NetworkB)
+		if observed && opt.Metrics != nil {
 			publishDispatchOccupancy(opt.Metrics, net)
 		}
+	})
+}
+
+// RunApp executes the application campaign: for each fault count it
+// builds a fresh world with per-rank transports and the plane-B OS
+// stream, applies a seeded plane-A link-cut schedule up front, runs the
+// workload, and collects a makespan row. The 0-rate row always runs
+// first and alone — its makespan sizes the fault window every later
+// row draws from; under Options.Engine == psim.Par the remaining rows
+// then run concurrently, one psim shard each. Deterministic either
+// way: same spec and options, byte-identical AppResult.
+func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
+	opt = opt.resolved()
+	if len(c.Rates) == 0 || c.Rates[0] != 0 {
+		return nil, fmt.Errorf("fault: app campaign %q must lead with a 0 rate (it sizes the fault window)", c.Name)
 	}
+	res := &AppResult{Campaign: c, Options: opt}
+	outs := make([]appOutcome, len(c.Rates))
+
+	sch := sim.NewScheduler()
+	runAppRate(c, opt, 0, len(c.Rates) == 1, 0, sch, &outs[0])
+	sch.Run()
+	if outs[0].err != nil {
+		return nil, outs[0].err
+	}
+	baseline := outs[0].row.Makespan
+
+	rest := c.Rates[1:]
+	if opt.Engine == psim.Par && len(rest) > 0 {
+		eng := psim.NewEngine(len(rest), 0)
+		for i, rate := range rest {
+			runAppRate(c, opt, rate, i == len(rest)-1, baseline, eng.Shard(i), &outs[i+1])
+		}
+		eng.Run()
+	} else {
+		for i, rate := range rest {
+			sch := sim.NewScheduler()
+			runAppRate(c, opt, rate, i == len(rest)-1, baseline, sch, &outs[i+1])
+			sch.Run()
+		}
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		res.Rows = append(res.Rows, outs[i].row)
+	}
+	// The sweep's last (highest-rate) run provides the detailed view.
+	last := &outs[len(outs)-1]
+	res.Schedule = last.schedule
+	res.PlaneA = last.planeA
+	res.PlaneB = last.planeB
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"powermanna/internal/metrics"
 	"powermanna/internal/netsim"
+	"powermanna/internal/psim"
 	"powermanna/internal/sim"
 	"powermanna/internal/stats"
 	"powermanna/internal/topo"
@@ -140,9 +141,15 @@ type Options struct {
 	Trace *trace.Recorder
 	// Metrics, when non-nil, receives the highest-rate row's instrument
 	// readings (send outcomes, latency and detection histograms,
-	// arbitration waits; runtime token stats for EARTH workloads) — the
-	// hook behind pmfault --metrics.
+	// arbitration waits; receive waits and runtime token stats for
+	// application workloads) — the hook behind pmfault --metrics.
 	Metrics *metrics.Registry
+	// Engine selects the execution engine (pmfault --engine). psim.Seq,
+	// the default, runs the sweep row by row on sequential event queues;
+	// psim.Par gives every rate row its own psim shard and runs them
+	// concurrently — rows share no mutable state, so the merged result
+	// is byte-identical to the sequential run.
+	Engine psim.Kind
 }
 
 func (o Options) resolved() Options {
@@ -287,26 +294,30 @@ func schedule(c Campaign, t *topo.Topology, count int, window sim.Time, rng *ran
 	return events
 }
 
-// Run executes the campaign: for each fault count in the sweep it builds
-// a fresh network over the topology, generates the (rate-independent)
-// traffic and a (rate-dependent) fault schedule from the seed, posts
-// every message through a per-source Transport (failover protocol plus
-// plane-down cache) with faults applied in time order, and collects a
-// degradation row. Deterministic: same spec and options, byte-identical
-// Result.
-func Run(c Campaign, opt Options) (*Result, error) {
-	if opt.Topology == nil && c.DefaultTopology != nil {
-		opt.Topology = c.DefaultTopology()
-	}
-	opt = opt.resolved()
-	if len(c.Rates) == 0 || len(c.Kinds) == 0 {
-		return nil, fmt.Errorf("fault: campaign %q has no rates or kinds", c.Name)
-	}
-	res := &Result{Campaign: c, Options: opt}
-	cfg := netsim.DefaultFailover()
-	for _, rate := range c.Rates {
+// rateOutcome is one degradation row's full result, produced by the
+// row's event stream and read back only after its engine has drained —
+// the assembly step is the single synchronization point between rows.
+type rateOutcome struct {
+	row      Row
+	err      error
+	schedule []Event
+	planeA   stats.CounterSet
+	planeB   stats.CounterSet
+	xbars    *stats.Table
+}
+
+// runRate schedules one degradation row onto an event engine: a setup
+// event at time zero builds the row's private machine (network,
+// per-source transports, injector) and schedules every generated
+// message at its send time, followed by a finalize event that closes
+// the accounting. Everything the row's events touch — network, RNG
+// streams, the outcome — is confined to the row, which is exactly what
+// makes a row a valid psim shard: the parallel sweep runs one row per
+// shard with no cross-shard events at all.
+func runRate(c Campaign, opt Options, cfg netsim.FailoverConfig, rate int, observed bool, eng sim.Engine, out *rateOutcome) {
+	eng.At(0, func() {
 		net := netsim.New(opt.Topology)
-		if rate == c.Rates[len(c.Rates)-1] {
+		if observed {
 			// Only the highest-rate (most interesting) row is observed; the
 			// earlier sweep rows would bury it in identical fault-free
 			// readings.
@@ -325,46 +336,114 @@ func Run(c Campaign, opt Options) (*Result, error) {
 		events := schedule(c, opt.Topology, rate,
 			opt.Window, rand.New(rand.NewSource(opt.Seed+faultSeedStride*int64(rate))))
 		inj := NewInjector(net, events)
-		row := Row{Faults: rate}
+		//pmlint:allow sharedstate row-confined: every handler writing out runs on this row's own shard
+		out.row = Row{Faults: rate}
 		var latSum sim.Time
+		var last sim.Time
 		for _, m := range msgs {
-			inj.ApplyUntil(m.at)
-			d, err := tps[m.src].Send(m.at, m.dst, opt.PayloadBytes)
-			if err != nil {
-				return nil, fmt.Errorf("fault: campaign %q: %w", c.Name, err)
+			m := m
+			if m.at > last {
+				last = m.at
 			}
-			row.Skipped += d.SkippedDown
-			switch {
-			case d.Failed:
-				row.Failed++
-			default:
-				row.Delivered++
-				latSum += d.Latency()
-				if d.Retried {
-					row.Retried++
+			eng.At(m.at, func() {
+				if out.err != nil {
+					return
 				}
+				inj.ApplyUntil(m.at)
+				d, err := tps[m.src].Send(m.at, m.dst, opt.PayloadBytes)
+				if err != nil {
+					out.err = fmt.Errorf("fault: campaign %q: %w", c.Name, err)
+					return
+				}
+				out.row.Skipped += d.SkippedDown
+				switch {
+				case d.Failed:
+					out.row.Failed++
+				default:
+					out.row.Delivered++
+					//pmlint:allow sharedstate row-confined: send and finalize handlers share this row's shard
+					latSum += d.Latency()
+					if d.Retried {
+						out.row.Retried++
+					}
+				}
+			})
+		}
+		// Finalize shares the last message's time; the (time, seq) order
+		// runs it after every send.
+		eng.At(last, func() {
+			if out.row.Delivered > 0 {
+				out.row.MeanLatency = latSum / sim.Time(out.row.Delivered)
 			}
+			out.schedule = inj.Events()
+			out.planeA = net.PlaneCounterSet(topo.NetworkA)
+			out.planeB = net.PlaneCounterSet(topo.NetworkB)
+			if c.PerXbar {
+				out.xbars = xbarTable(net, opt.Topology)
+			}
+			if observed && opt.Metrics != nil {
+				publishDispatchOccupancy(opt.Metrics, net)
+			}
+		})
+	})
+}
+
+// Run executes the campaign: for each fault count in the sweep it builds
+// a fresh network over the topology, generates the (rate-independent)
+// traffic and a (rate-dependent) fault schedule from the seed, posts
+// every message through a per-source Transport (failover protocol plus
+// plane-down cache) with faults applied in time order, and collects a
+// degradation row. Under Options.Engine == psim.Par the rows run
+// concurrently, one psim shard each. Deterministic either way: same
+// spec and options, byte-identical Result.
+func Run(c Campaign, opt Options) (*Result, error) {
+	if opt.Topology == nil && c.DefaultTopology != nil {
+		opt.Topology = c.DefaultTopology()
+	}
+	opt = opt.resolved()
+	if len(c.Rates) == 0 || len(c.Kinds) == 0 {
+		return nil, fmt.Errorf("fault: campaign %q has no rates or kinds", c.Name)
+	}
+	res := &Result{Campaign: c, Options: opt}
+	cfg := netsim.DefaultFailover()
+	outs := make([]rateOutcome, len(c.Rates))
+	if opt.Engine == psim.Par {
+		// One shard per rate row, unbounded window: the rows exchange no
+		// events, so the whole sweep is a single barrier-free round.
+		eng := psim.NewEngine(len(c.Rates), 0)
+		for i, rate := range c.Rates {
+			runRate(c, opt, cfg, rate, i == len(c.Rates)-1, eng.Shard(i), &outs[i])
 		}
-		if row.Delivered > 0 {
-			row.MeanLatency = latSum / sim.Time(row.Delivered)
+		eng.Run()
+	} else {
+		for i, rate := range c.Rates {
+			sch := sim.NewScheduler()
+			runRate(c, opt, cfg, rate, i == len(c.Rates)-1, sch, &outs[i])
+			sch.Run()
 		}
+	}
+	// Assemble in sweep order. Inflation replicates the sequential
+	// incremental semantics exactly: the baseline is looked up against
+	// the rows assembled so far, so the 0-rate row itself takes the
+	// Inflation=1 branch.
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		row := outs[i].row
 		if base := res.baseline(); base > 0 && row.MeanLatency > 0 {
 			row.Inflation = float64(row.MeanLatency) / float64(base)
 		} else if row.Faults == 0 {
 			row.Inflation = 1
 		}
 		res.Rows = append(res.Rows, row)
-		// The sweep's last (highest-rate) run provides the detailed view.
-		res.Schedule = inj.Events()
-		res.PlaneA = net.PlaneCounterSet(topo.NetworkA)
-		res.PlaneB = net.PlaneCounterSet(topo.NetworkB)
-		if c.PerXbar {
-			res.Xbars = xbarTable(net, opt.Topology)
-		}
-		if opt.Metrics != nil && rate == c.Rates[len(c.Rates)-1] {
-			publishDispatchOccupancy(opt.Metrics, net)
-		}
 	}
+	// The sweep's last (highest-rate) run provides the detailed view.
+	last := &outs[len(outs)-1]
+	res.Schedule = last.schedule
+	res.PlaneA = last.planeA
+	res.PlaneB = last.planeB
+	res.Xbars = last.xbars
 	return res, nil
 }
 

@@ -19,6 +19,12 @@
 //     a nil receiver. Instrumented call sites therefore resolve their
 //     instruments once at attach time and call them unconditionally,
 //     paying one nil check per observation and allocating nothing.
+//
+// Shard locality (the internal/psim contract): instruments are plain
+// integers with no locks, so a Registry must only ever be observed from
+// one psim shard. Campaigns attach the registry to the single observed
+// (highest-rate) row, which keeps every observation shard-local; do not
+// share a Registry across shards.
 package metrics
 
 import (

@@ -26,10 +26,26 @@ import (
 
 	"powermanna/internal/comm"
 	"powermanna/internal/link"
+	"powermanna/internal/metrics"
 	"powermanna/internal/netsim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 )
+
+// MetricRecvWait is the receive-side wait histogram: how long a rank
+// sits polling between being ready to receive and the message's last
+// byte arriving at its NI — zero when the message was already in the
+// FIFO. Together with the netsim send-path instruments this completes
+// the machine profile in pmfault --metrics: the send side shows what
+// the network did to a message, this shows what the receiver felt.
+const MetricRecvWait = "mpl.recv.wait"
+
+// mplInstruments holds the world's instruments, resolved once at
+// attach time; the zero value keeps every observation a nil-receiver
+// no-op (metrics off).
+type mplInstruments struct {
+	recvWait *metrics.Histogram
+}
 
 // World is one program run: a set of ranks (one per node) over an
 // assembled network, each with its own local clock.
@@ -44,6 +60,7 @@ type World struct {
 	pending [][]message
 	sends   int64
 	bytes   int64
+	met     mplInstruments
 }
 
 type message struct {
@@ -80,6 +97,15 @@ func NewWorldWith(t *topo.Topology, cfg netsim.FailoverConfig) *World {
 // degraded-mode counters, not for sending (sends go through the per-rank
 // transports).
 func (w *World) Network() *netsim.Network { return w.net }
+
+// SetMetrics attaches the world to a registry: the network's send-path
+// instruments plus the receive-wait view observed by Recv. Buckets
+// share the send-latency geometry (powers of two from 1 µs) so the two
+// ends of the profile read side by side.
+func (w *World) SetMetrics(m *metrics.Registry) {
+	w.net.SetMetrics(m)
+	w.met.recvWait = m.TimeHistogram(MetricRecvWait, metrics.TimeBuckets(sim.Microsecond, 2, 10))
+}
 
 // Ranks reports the number of ranks.
 func (w *World) Ranks() int { return len(w.clocks) }
@@ -166,9 +192,12 @@ func (w *World) Recv(dst, src, tag int) ([]byte, error) {
 		w.pending[dst] = append(q[:i:i], q[i+1:]...)
 		// Poll until arrival, then drain and return to user.
 		t := w.clocks[dst] + w.cycles(w.params.PollCycles)
+		var wait sim.Time
 		if m.arrival > t {
+			wait = m.arrival - t
 			t = m.arrival + w.cycles(w.params.PollCycles)/2
 		}
+		w.met.recvWait.ObserveTime(wait)
 		lines := (len(m.payload) + 63) / 64
 		if lines < 1 {
 			lines = 1

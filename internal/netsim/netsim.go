@@ -16,6 +16,13 @@
 // interface) belong to the driver model in internal/comm; Transit assumes
 // the endpoints keep up, which holds for latency measurements and routed
 // examples.
+//
+// Shard locality (the internal/psim contract): a Network and everything
+// hanging off it — crossbars, wires, transports, the attached recorder
+// and registry — is single-shard state. All events touching one Network
+// must run on the same psim shard (fault campaigns ensure this by
+// building one Network per degradation row); nothing in this package
+// synchronizes, and the shard-safety analyzers hold it to that.
 package netsim
 
 import (

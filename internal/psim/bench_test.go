@@ -1,0 +1,58 @@
+// Engine benchmarks: the same System256 campaigns under the sequential
+// scheduler and the sharded engine. Run with -cpu 1,2,4,8 to see the
+// parallel sweep scale — each degradation row is one shard, so the
+// ceiling is the row count.
+package psim_test
+
+import (
+	"testing"
+
+	"powermanna/internal/fault"
+	"powermanna/internal/psim"
+	"powermanna/internal/topo"
+)
+
+// benchCampaign runs the link-cut sweep on the 256-processor system —
+// the configuration the acceptance speedup is measured on.
+func benchCampaign(b *testing.B, engine psim.Kind) {
+	b.Helper()
+	c, ok := fault.CampaignByName("link-cut")
+	if !ok {
+		b.Fatal("no link-cut campaign")
+	}
+	opt := fault.Options{Seed: 1, Topology: topo.System256(), Engine: engine}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.Run(c, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendSystem256(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchCampaign(b, psim.Seq) })
+	b.Run("par", func(b *testing.B) { benchCampaign(b, psim.Par) })
+}
+
+// benchAppCampaign runs the heat-diffusion app campaign on the default
+// cluster: a real MPL workload per row, so the rows are heavier and the
+// sweep amortises the barrier better.
+func benchAppCampaign(b *testing.B, engine psim.Kind) {
+	b.Helper()
+	c, ok := fault.AppCampaignByName("heat-linkcut")
+	if !ok {
+		b.Fatal("no heat-linkcut campaign")
+	}
+	opt := fault.Options{Seed: 1, Engine: engine}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.RunApp(c, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeatCampaign(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { benchAppCampaign(b, psim.Seq) })
+	b.Run("par", func(b *testing.B) { benchAppCampaign(b, psim.Par) })
+}

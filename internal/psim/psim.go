@@ -1,0 +1,436 @@
+// Package psim is the parallel discrete-event engine: the event space
+// is split into shards, each with its own heap, clock and sequence
+// counter, driven by worker goroutines and synchronized through
+// conservative lookahead windows (null-message-free barrier rounds).
+// Cross-shard events travel through per-pair mailboxes and are merged
+// at each barrier with a deterministic (time, source shard, post
+// order) tie-break, so a sharded run dispatches exactly the events a
+// sequential run would — trace, metrics and stdout stay byte-identical
+// to internal/sim's single queue. CI pins that equivalence by running
+// the pmfault/pmtrace goldens through both engines.
+//
+// The conservative contract: during a barrier round every shard may
+// freely execute events before the round's window end, because no
+// other shard can inject an event below it — the lookahead is the
+// minimum latency of any cross-shard interaction. For the simulated
+// interconnect that floor comes from the hardware constants: a message
+// crossing a shard boundary pays at least one crossbar route setup
+// plus one link byte period before it can touch another shard's state
+// (DefaultLookahead). Partitions that exchange no events at all — the
+// fault campaigns' independent rate rows — run with an unbounded
+// window (lookahead 0), which degenerates to one round with no
+// barriers: the embarrassingly-parallel fast path.
+//
+// Each Shard implements sim.Engine, so models written against the
+// sequential scheduler (EARTH, the campaign drivers) run unchanged on
+// a shard. Everything a shard's events touch must be shard-local; the
+// pmlint --report audit (sharedstate and friends) is the static gate
+// on that, and the per-row construction in internal/fault is the
+// dynamic pattern: one network, one injector, one accounting row per
+// shard.
+package psim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"powermanna/internal/link"
+	"powermanna/internal/sim"
+	"powermanna/internal/xbar"
+)
+
+// Kind selects the execution engine behind a campaign or tool run:
+// the --engine=seq|par flag of pmfault, pmtrace and pmbench.
+type Kind int
+
+const (
+	// Seq is the sequential engine: one event queue, today's default.
+	Seq Kind = iota
+	// Par is the sharded parallel engine in this package.
+	Par
+)
+
+// String renders the CLI spelling.
+func (k Kind) String() string {
+	if k == Par {
+		return "par"
+	}
+	return "seq"
+}
+
+// ParseKind maps the --engine flag value to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "seq", "":
+		return Seq, nil
+	case "par":
+		return Par, nil
+	}
+	return Seq, fmt.Errorf("psim: unknown engine %q (want seq or par)", s)
+}
+
+// DefaultLookahead is the conservative window width for node-sharded
+// models: the minimum simulated latency of any cross-shard message.
+// Before a message started in one window can perturb another shard it
+// must at least claim a crossbar route (RouteSetup) and put its first
+// byte on a wire (BytePeriod), so events inside the window are safe to
+// dispatch without hearing from other shards.
+func DefaultLookahead() sim.Time {
+	return xbar.RouteSetup + link.BytePeriod
+}
+
+// event is a scheduled callback; same total order as internal/sim:
+// (at, seq), seq breaking every time tie in scheduling order.
+type event struct {
+	at  sim.Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is the hand-rolled binary min-heap over (at, seq), the
+// same layout as internal/sim's: no interface boxing per schedule.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+// push appends e and restores the heap invariant.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{} // release the callback so the GC can collect it
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
+}
+
+// Shard is one partition of the event space: a private heap, clock,
+// sequence counter and step count. It implements sim.Engine, so model
+// code written against the sequential scheduler runs unchanged on a
+// shard. A shard's state — and everything its events touch — belongs
+// to exactly one worker goroutine per barrier round; the engine is the
+// only cross-shard channel.
+type Shard struct {
+	eng    *Engine
+	id     int
+	now    sim.Time
+	seq    uint64
+	queue  eventHeap
+	nsteps uint64
+}
+
+// ID reports the shard's index within its engine.
+func (s *Shard) ID() int { return s.id }
+
+// Now reports the shard's current simulated time.
+func (s *Shard) Now() sim.Time { return s.now }
+
+// Steps reports how many events this shard has dispatched.
+func (s *Shard) Steps() uint64 { return s.nsteps }
+
+// Pending reports the number of events still queued on this shard.
+func (s *Shard) Pending() int { return len(s.queue) }
+
+// At schedules fn on this shard at absolute simulated time t.
+// Scheduling in the past is a model bug and panics.
+//
+//pmlint:hotpath
+func (s *Shard) At(t sim.Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("psim: shard %d scheduling at %v before now %v", s.id, t, s.now)) //pmlint:allow hotpath cold panic guard for a model bug, never taken per event
+	}
+	s.seq++
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the shard's current time.
+//
+//pmlint:hotpath
+func (s *Shard) After(d sim.Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step dispatches the shard's next event, advancing its clock to it.
+// It reports whether an event was dispatched.
+//
+//pmlint:hotpath
+func (s *Shard) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := s.queue.pop()
+	s.now = e.at
+	s.nsteps++
+	e.fn()
+	return true
+}
+
+// Run dispatches the shard's events until its queue is empty. Model
+// code may call it reentrantly from inside an event (EARTH's runtime
+// does); with cross-shard traffic it is only safe on an unbounded
+// window, because it ignores the engine's window end.
+func (s *Shard) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil dispatches all shard events at or before t, then advances
+// the shard clock to exactly t.
+func (s *Shard) RunUntil(t sim.Time) {
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunWhile dispatches shard events until cond reports false or the
+// queue drains, reporting whether events remain.
+func (s *Shard) RunWhile(cond func() bool) bool {
+	for cond() {
+		if !s.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+// runWindow is the worker loop of one barrier round: it dispatches
+// every queued callback strictly below the window end. It is the
+// parallel engine's event-handler root — each callback it invokes was
+// scheduled through At/After or posted through a mailbox — and runs on
+// at most one goroutine per shard per round.
+//
+//pmlint:root
+func (s *Shard) runWindow(end sim.Time) {
+	for len(s.queue) > 0 && s.queue[0].at < end {
+		e := s.queue.pop()
+		s.now = e.at
+		s.nsteps++
+		e.fn()
+	}
+}
+
+// Shards cannot exist outside an engine, so the interface check lives
+// here: every shard is a drop-in sequential scheduler.
+var _ sim.Engine = (*Shard)(nil)
+
+// post is one cross-shard event waiting in a mailbox. Its order field
+// is the per-(src,dst) posting sequence; together with the source
+// shard index it extends the (time, seq) tie-break across shards.
+type post struct {
+	at sim.Time
+	fn func()
+}
+
+// Engine coordinates shards through conservative barrier rounds. One
+// round: pick the globally earliest pending event, extend it by the
+// lookahead into a window, let every shard dispatch its sub-window
+// events concurrently, then merge the mailboxes deterministically and
+// repeat. With lookahead 0 the window is unbounded — a single round
+// with no barriers, the right mode for partitions that exchange no
+// events (campaign rate rows).
+type Engine struct {
+	shards    []*Shard
+	lookahead sim.Time
+	// horizon is the current round's window end (sim.MaxTime when the
+	// window is unbounded); Post enforces the conservative contract
+	// against it.
+	horizon sim.Time
+	// mail[src*len(shards)+dst] buffers the posts src made for dst
+	// during the current round; only src's worker appends to it, so
+	// rounds need no locks — the barrier is the synchronization.
+	mail [][]post
+}
+
+// NewEngine builds an engine with n shards. A lookahead > 0 sets the
+// conservative window width for models with cross-shard traffic
+// (DefaultLookahead derives the interconnect's floor); lookahead 0
+// means the shards are independent partitions and the whole run is one
+// unbounded window.
+func NewEngine(n int, lookahead sim.Time) *Engine {
+	if n < 1 {
+		panic("psim: engine needs at least one shard")
+	}
+	e := &Engine{
+		shards:    make([]*Shard, n),
+		lookahead: lookahead,
+		horizon:   sim.MaxTime,
+		mail:      make([][]post, n*n),
+	}
+	for i := range e.shards {
+		e.shards[i] = &Shard{eng: e, id: i}
+	}
+	return e
+}
+
+// Shards reports the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns shard i.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Steps reports the total events dispatched across all shards.
+func (e *Engine) Steps() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.nsteps
+	}
+	return n
+}
+
+// Post schedules fn on shard dst at absolute time t, from model code
+// running on shard src during a round. The conservative contract: t
+// must lie at or beyond the current window's end, because dst may
+// already have dispatched past any earlier time — violating it is a
+// lookahead bug in the model (its cross-shard latency is smaller than
+// the engine's lookahead) and panics.
+//
+//pmlint:hotpath
+func (e *Engine) Post(src, dst int, t sim.Time, fn func()) {
+	if t < e.horizon {
+		panic(fmt.Sprintf("psim: shard %d posting to shard %d at %v inside the window ending %v: model latency below the configured lookahead", src, dst, t, e.horizon)) //pmlint:allow hotpath cold panic guard for a lookahead violation, never taken per event
+	}
+	box := &e.mail[src*len(e.shards)+dst]
+	*box = append(*box, post{at: t, fn: fn})
+}
+
+// nextEventTime reports the earliest pending event across shards.
+func (e *Engine) nextEventTime() (sim.Time, bool) {
+	var min sim.Time
+	found := false
+	for _, s := range e.shards {
+		if len(s.queue) == 0 {
+			continue
+		}
+		if !found || s.queue[0].at < min {
+			min = s.queue[0].at
+		}
+		found = true
+	}
+	return min, found
+}
+
+// Run drives barrier rounds until every heap and mailbox is empty.
+// Each round dispatches shards concurrently — one worker goroutine per
+// shard with work — and merges the mailboxes single-threaded at the
+// barrier, so the only cross-goroutine data flow is fork at the round
+// start and join at the barrier.
+func (e *Engine) Run() {
+	for {
+		next, ok := e.nextEventTime()
+		if !ok {
+			return
+		}
+		end := sim.MaxTime
+		if e.lookahead > 0 {
+			end = next + e.lookahead
+		}
+		e.horizon = end
+		e.round(end)
+		e.horizon = sim.MaxTime
+		e.deliver()
+	}
+}
+
+// round runs one window: every shard with an event below end dispatches
+// it on its own worker goroutine, and the round ends when all workers
+// reach the barrier. A single-shard engine runs on the calling
+// goroutine — no goroutines, so the sequential configuration of a
+// parallel tool run stays literally sequential.
+func (e *Engine) round(end sim.Time) {
+	if len(e.shards) == 1 {
+		e.shards[0].runWindow(end)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		if len(s.queue) == 0 || s.queue[0].at >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			s.runWindow(end)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// deliver merges the round's mailboxes into the destination heaps with
+// the deterministic cross-shard tie-break: ascending (time, source
+// shard, post order). Destination sequence numbers are assigned in
+// that merged order, so the (at, seq) heap order downstream — and with
+// it every simulated outcome — is a pure function of the model, never
+// of goroutine timing.
+func (e *Engine) deliver() {
+	n := len(e.shards)
+	type delivery struct {
+		at  sim.Time
+		src int
+		fn  func()
+	}
+	for dst := 0; dst < n; dst++ {
+		var merged []delivery
+		for src := 0; src < n; src++ {
+			box := &e.mail[src*n+dst]
+			for _, p := range *box {
+				merged = append(merged, delivery{at: p.at, src: src, fn: p.fn})
+			}
+			*box = (*box)[:0]
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		// Stable sort: posts from one source stay in posting order, the
+		// third key of the tie-break.
+		sort.SliceStable(merged, func(i, j int) bool {
+			if merged[i].at != merged[j].at {
+				return merged[i].at < merged[j].at
+			}
+			return merged[i].src < merged[j].src
+		})
+		s := e.shards[dst]
+		for _, p := range merged {
+			s.seq++
+			s.queue.push(event{at: p.at, seq: s.seq, fn: p.fn})
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Sequential-equivalence harness: the parallel engine's whole contract
+// is that --engine par changes wall-clock time and nothing else. Every
+// test here runs the same workload under the sequential scheduler and
+// the sharded engine across several seeds and demands byte-identical
+// observable output — the rendered degradation tables, the Chrome trace
+// export, and the metrics dump. These are the same artifacts the CI
+// goldens pin, so a regression here is a regression of the goldens.
+package psim_test
+
+import (
+	"strings"
+	"testing"
+
+	"powermanna/internal/earth"
+	"powermanna/internal/fault"
+	"powermanna/internal/metrics"
+	"powermanna/internal/netsim"
+	"powermanna/internal/psim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+	"powermanna/internal/trace"
+)
+
+// seeds are the equivalence sweep: enough variety to move fault
+// placement, traffic pairing and failover timing between runs.
+var seeds = []int64{1, 2, 3}
+
+// campaignArtifacts runs one synthetic campaign and returns everything
+// a user can observe: the rendered table, the trace export and the
+// metrics dump.
+func campaignArtifacts(t *testing.T, name string, seed int64, engine psim.Kind) (table, chrome, mets string) {
+	t.Helper()
+	c, ok := fault.CampaignByName(name)
+	if !ok {
+		t.Fatalf("no campaign %q", name)
+	}
+	rec := trace.NewRecorder()
+	reg := metrics.NewRegistry()
+	res, err := fault.Run(c, fault.Options{Seed: seed, Engine: engine, Trace: rec, Metrics: reg})
+	if err != nil {
+		t.Fatalf("%s seed %d engine %v: %v", name, seed, engine, err)
+	}
+	var b strings.Builder
+	if err := trace.WriteChrome(&b, rec); err != nil {
+		t.Fatal(err)
+	}
+	return res.Render(), b.String(), reg.Render()
+}
+
+// appArtifacts is campaignArtifacts for application campaigns (real
+// workloads over the MPL or the EARTH runtime).
+func appArtifacts(t *testing.T, name string, seed int64, engine psim.Kind) (table, chrome, mets string) {
+	t.Helper()
+	c, ok := fault.AppCampaignByName(name)
+	if !ok {
+		t.Fatalf("no app campaign %q", name)
+	}
+	rec := trace.NewRecorder()
+	reg := metrics.NewRegistry()
+	res, err := fault.RunApp(c, fault.Options{Seed: seed, Engine: engine, Trace: rec, Metrics: reg})
+	if err != nil {
+		t.Fatalf("%s seed %d engine %v: %v", name, seed, engine, err)
+	}
+	var b strings.Builder
+	if err := trace.WriteChrome(&b, rec); err != nil {
+		t.Fatal(err)
+	}
+	return res.Render(), b.String(), reg.Render()
+}
+
+// requireIdentical compares one artifact across engines.
+func requireIdentical(t *testing.T, what string, seq, par string) {
+	t.Helper()
+	if seq == par {
+		return
+	}
+	line := 1
+	for i := 0; i < len(seq) && i < len(par); i++ {
+		if seq[i] != par[i] {
+			t.Fatalf("%s diverges at byte %d (line %d): seq %q vs par %q",
+				what, i, line, excerpt(seq, i), excerpt(par, i))
+		}
+		if seq[i] == '\n' {
+			line++
+		}
+	}
+	t.Fatalf("%s diverges in length: seq %d bytes, par %d bytes", what, len(seq), len(par))
+}
+
+func excerpt(s string, at int) string {
+	end := at + 40
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[at:end]
+}
+
+// TestLinkCutEquivalence sweeps the synthetic link-cut campaign: every
+// observable artifact must be byte-identical across engines and seeds.
+func TestLinkCutEquivalence(t *testing.T) {
+	for _, seed := range seeds {
+		st, sc, sm := campaignArtifacts(t, "link-cut", seed, psim.Seq)
+		pt, pc, pm := campaignArtifacts(t, "link-cut", seed, psim.Par)
+		requireIdentical(t, "link-cut table", st, pt)
+		requireIdentical(t, "link-cut trace", sc, pc)
+		requireIdentical(t, "link-cut metrics", sm, pm)
+	}
+}
+
+// TestHeatLinkCutEquivalence sweeps the heat-diffusion app campaign —
+// a real MPL workload with failover traffic contending against the OS
+// stream, including the receive-wait histogram in the metrics dump.
+func TestHeatLinkCutEquivalence(t *testing.T) {
+	for _, seed := range seeds {
+		st, sc, sm := appArtifacts(t, "heat-linkcut", seed, psim.Seq)
+		pt, pc, pm := appArtifacts(t, "heat-linkcut", seed, psim.Par)
+		requireIdentical(t, "heat-linkcut table", st, pt)
+		requireIdentical(t, "heat-linkcut trace", sc, pc)
+		requireIdentical(t, "heat-linkcut metrics", sm, pm)
+		if !strings.Contains(sm, "mpl.recv.wait") {
+			t.Fatalf("metrics dump misses the receive-wait view:\n%s", sm)
+		}
+	}
+}
+
+// TestFibLinkCutEquivalence sweeps the EARTH app campaign: the runtime
+// runs with a psim shard as its event queue, exercising reentrant
+// Shard.Run inside an executing event.
+func TestFibLinkCutEquivalence(t *testing.T) {
+	for _, seed := range seeds {
+		st, _, sm := appArtifacts(t, "fib-linkcut", seed, psim.Seq)
+		pt, _, pm := appArtifacts(t, "fib-linkcut", seed, psim.Par)
+		requireIdentical(t, "fib-linkcut table", st, pt)
+		requireIdentical(t, "fib-linkcut metrics", sm, pm)
+	}
+}
+
+// TestPingPongDiffEquivalence pins the pmtrace diff path: the timeline
+// divergence between two seeds must itself be engine-independent —
+// diffing seq-recorded runs and par-recorded runs of the link-cut
+// campaign yields the same report.
+func TestPingPongDiffEquivalence(t *testing.T) {
+	record := func(seed int64, engine psim.Kind) *trace.Recorder {
+		c, _ := fault.CampaignByName("link-cut")
+		rec := trace.NewRecorder()
+		if _, err := fault.Run(c, fault.Options{Seed: seed, Engine: engine, Trace: rec}); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	render := func(engine psim.Kind) string {
+		var b strings.Builder
+		if err := trace.WriteDiff(&b, record(1, engine), record(2, engine)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	requireIdentical(t, "link-cut diff report", render(psim.Seq), render(psim.Par))
+}
+
+// TestEarthOnShardMatchesScheduler runs the EARTH fib benchmark
+// directly on a single-shard engine against the stock scheduler: same
+// answer, same makespan, byte-identical timeline.
+func TestEarthOnShardMatchesScheduler(t *testing.T) {
+	run := func(eng sim.Engine) (int64, sim.Time, string) {
+		tp := topo.Cluster8()
+		var s *earth.System
+		if eng != nil {
+			s = earth.NewWithEngine(tp, earth.DefaultParams(), netsim.DefaultFailover(), eng)
+		} else {
+			s = earth.NewWithFailover(tp, earth.DefaultParams(), netsim.DefaultFailover())
+		}
+		rec := trace.NewRecorder()
+		s.SetRecorder(rec)
+		got, makespan, err := earth.RunFib(s, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := trace.WriteChrome(&b, rec); err != nil {
+			t.Fatal(err)
+		}
+		return got, makespan, b.String()
+	}
+	sg, sm, st := run(nil)
+	pg, pm, pt := run(psim.NewEngine(1, 0).Shard(0))
+	if sg != pg || sm != pm {
+		t.Fatalf("fib on shard: got %d in %v, scheduler got %d in %v", pg, pm, sg, sm)
+	}
+	requireIdentical(t, "fib timeline", st, pt)
+}

@@ -67,6 +67,11 @@ func (t Time) String() string {
 	}
 }
 
+// MaxTime is the largest representable simulated time — "never" for
+// horizon comparisons; the parallel engine uses it as the unbounded
+// window end.
+const MaxTime = Time(1<<63 - 1)
+
 // Max returns the later of a and b.
 func Max(a, b Time) Time {
 	if a > b {

@@ -189,6 +189,63 @@ func TestDiffShiftAndRemoval(t *testing.T) {
 	}
 }
 
+// TestDiffDroppedEventDoesNotCascade is the alignment satellite: one
+// event dropped early in a long same-shape run must report exactly one
+// removal, with the surviving tail re-paired exactly — not a cascade of
+// spurious per-ordinal shifts.
+func TestDiffDroppedEventDoesNotCascade(t *testing.T) {
+	build := func(dropSecond bool) *Recorder {
+		r := NewRecorder()
+		for i := 0; i < 10; i++ {
+			if dropSecond && i == 1 {
+				continue
+			}
+			at := sim.Time(i) * 10 * us
+			r.Span(NodeTrack(0), "net", "msg", at, at+5*us)
+		}
+		return r
+	}
+	a := build(false)
+	b := build(true)
+
+	d := DiffRecordings(a, b)
+	if d.Matched != 9 || len(d.Shifts) != 0 || len(d.Removed) != 1 || len(d.Added) != 0 {
+		t.Fatalf("matched=%d shifts=%d removed=%d added=%d, want 9/0/1/0",
+			d.Matched, len(d.Shifts), len(d.Removed), len(d.Added))
+	}
+	if rm := d.Removed[0]; rm.ordinal != 1 {
+		t.Errorf("removed ordinal = %d, want 1 (the dropped event)", rm.ordinal)
+	}
+
+	// The reverse direction is symmetric: the extra event reports as
+	// one addition.
+	rd := DiffRecordings(b, a)
+	if rd.Matched != 9 || len(rd.Shifts) != 0 || len(rd.Added) != 1 || len(rd.Removed) != 0 {
+		t.Fatalf("reverse: matched=%d shifts=%d removed=%d added=%d, want 9/0/0/1",
+			rd.Matched, len(rd.Shifts), len(rd.Removed), len(rd.Added))
+	}
+}
+
+// TestDiffPrefersShiftOverChurn checks the cost model's other face: an
+// event that merely moved pairs up as one shift (cost 2) rather than a
+// removal plus an addition (cost 2, but alignment prefers pairing on
+// the tie).
+func TestDiffPrefersShiftOverChurn(t *testing.T) {
+	a := NewRecorder()
+	a.Span(NodeTrack(0), "net", "msg", 0, 5*us)
+	b := NewRecorder()
+	b.Span(NodeTrack(0), "net", "msg", 2*us, 7*us)
+
+	d := DiffRecordings(a, b)
+	if d.Matched != 0 || len(d.Shifts) != 1 || len(d.Removed) != 0 || len(d.Added) != 0 {
+		t.Fatalf("matched=%d shifts=%d removed=%d added=%d, want 0/1/0/0",
+			d.Matched, len(d.Shifts), len(d.Removed), len(d.Added))
+	}
+	if s := d.Shifts[0]; s.StartDelta != 2*us || s.DurDelta != 0 {
+		t.Errorf("shift = %+v", s)
+	}
+}
+
 // TestDiffSelfIsIdentical checks the zero-diff direction: a recording
 // diffed against an identical one reports no divergence.
 func TestDiffSelfIsIdentical(t *testing.T) {

@@ -1,16 +1,19 @@
 // Timeline diff: two runs' recordings aligned event by event, the "what
 // changed between these seeds" view. Alignment is structural, not
-// positional: each event is keyed by (track, cat, name, ordinal), where
-// the ordinal counts that (track, cat, name) shape's occurrences in
-// insertion order — so the third "msg" span on node 4's track in run A
-// pairs with the third in run B even when unrelated traffic reordered
-// the global event stream. Paired events that moved or changed length
-// are reported as shifted; unpaired events as added or removed; and a
-// per-track utilization table shows where busy time migrated. One
-// caveat follows from ordinal alignment: an event missing early in one
-// run shifts the pairing of every later same-shape event, so a single
-// dropped message typically reports as one removed event plus a tail of
-// shifts — read the first divergence, not the count.
+// positional: events are grouped by (track, cat, name) shape — so a
+// "msg" span on node 4's track only ever pairs with another "msg" span
+// on node 4's track, even when unrelated traffic reordered the global
+// event stream — and within a shape the two runs' occurrence sequences
+// are paired by a minimum-cost edit distance. Pairing two occurrences
+// with identical timing is free, pairing ones that moved costs more
+// than it saves over dropping one of them, and leaving an occurrence
+// unpaired costs a gap; ties prefer pairing. The effect: an event
+// missing early in one run costs exactly one gap and the tail still
+// pairs exactly, where the old per-shape ordinal alignment cascaded
+// one dropped message into a tail of spurious shifts. Paired events
+// that moved or changed length are reported as shifted; unpaired
+// events as added or removed; and a per-track utilization table shows
+// where busy time migrated.
 
 package trace
 
@@ -83,20 +86,104 @@ func (d *Diff) Identical() bool {
 	return len(d.Shifts) == 0 && len(d.Added) == 0 && len(d.Removed) == 0
 }
 
-// keyEvents indexes a recording by alignment key.
-func keyEvents(r *Recorder) (map[diffKey]Event, []diffKey) {
-	byKey := map[diffKey]Event{}
-	ordinals := map[diffKey]int{}
-	keys := make([]diffKey, 0, r.Len())
-	for _, e := range r.Events() {
-		shape := diffKey{track: e.Track, cat: e.Cat, name: e.Name}
-		k := shape
-		k.ordinal = ordinals[shape]
-		ordinals[shape]++
-		byKey[k] = e
-		keys = append(keys, k)
+// shapeKey is the (track, cat, name) identity events align within.
+type shapeKey struct {
+	track TrackID
+	cat   string
+	name  string
+}
+
+// occurrence is one event of a shape: its timing plus its position in
+// the run's global stream (for deterministic tie-breaking) and its
+// ordinal within the shape (for report keys).
+type occurrence struct {
+	start, dur sim.Time
+	global     int
+	ordinal    int
+}
+
+// groupByShape indexes a recording's events by shape in insertion
+// order; shapes lists each shape once, in first-occurrence order.
+func groupByShape(r *Recorder) (map[shapeKey][]occurrence, []shapeKey) {
+	groups := map[shapeKey][]occurrence{}
+	var shapes []shapeKey
+	for i, e := range r.Events() {
+		k := shapeKey{track: e.Track, cat: e.Cat, name: e.Name}
+		occ := occurrence{start: e.Start, dur: e.End - e.Start, global: i}
+		if prev, ok := groups[k]; ok {
+			occ.ordinal = len(prev)
+		} else {
+			shapes = append(shapes, k)
+		}
+		groups[k] = append(groups[k], occ)
 	}
-	return byKey, keys
+	return groups, shapes
+}
+
+// Edit-distance costs for aligning one shape's occurrence sequences.
+// The ratios encode the report's preferences: exact pairs are free; a
+// moved pair (cost 2) beats dropping and re-adding it (two gaps, cost
+// 2, lost on the tie to pairing) but loses to one gap plus an exact
+// tail — which is what stops a single dropped event from cascading.
+const (
+	alignShiftCost = 2
+	alignGapCost   = 1
+)
+
+// alignShape pairs run A's and run B's occurrences of one shape by
+// minimum edit cost, calling matched for each pair and gapA/gapB for
+// occurrences only one run has. Needleman-Wunsch over the two
+// sequences; on equal cost the backtrack prefers pairing, then the gap
+// in A — a fixed rule, so the alignment is a pure function of the two
+// sequences.
+func alignShape(as, bs []occurrence, matched func(a, b occurrence), gapA, gapB func(occurrence)) {
+	n, m := len(as), len(bs)
+	// dp[i][j] is the cheapest alignment of as[i:] with bs[j:].
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for j := m - 1; j >= 0; j-- {
+		dp[n][j] = (m - j) * alignGapCost
+	}
+	for i := n - 1; i >= 0; i-- {
+		dp[i][m] = (n - i) * alignGapCost
+		for j := m - 1; j >= 0; j-- {
+			pair := dp[i+1][j+1]
+			if as[i].start != bs[j].start || as[i].dur != bs[j].dur {
+				pair += alignShiftCost
+			}
+			best := pair
+			if c := alignGapCost + dp[i+1][j]; c < best {
+				best = c
+			}
+			if c := alignGapCost + dp[i][j+1]; c < best {
+				best = c
+			}
+			dp[i][j] = best
+		}
+	}
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && func() bool {
+			pair := dp[i+1][j+1]
+			if as[i].start != bs[j].start || as[i].dur != bs[j].dur {
+				pair += alignShiftCost
+			}
+			return dp[i][j] == pair
+		}():
+			matched(as[i], bs[j])
+			i++
+			j++
+		case i < n && dp[i][j] == alignGapCost+dp[i+1][j]:
+			gapA(as[i])
+			i++
+		default:
+			gapB(bs[j])
+			j++
+		}
+	}
 }
 
 // sortKeys orders keys deterministically: track, cat, name, ordinal.
@@ -119,8 +206,8 @@ func sortKeys(keys []diffKey) {
 // DiffRecordings aligns two recordings and reports every divergence.
 // The result is a pure function of the two event sequences.
 func DiffRecordings(a, b *Recorder) *Diff {
-	aEvents, aKeys := keyEvents(a)
-	bEvents, bKeys := keyEvents(b)
+	aGroups, aShapes := groupByShape(a)
+	bGroups, bShapes := groupByShape(b)
 	d := &Diff{EventsA: a.Len(), EventsB: b.Len()}
 	for _, e := range a.Events() {
 		if e.End > d.MakespanA {
@@ -133,25 +220,38 @@ func DiffRecordings(a, b *Recorder) *Diff {
 		}
 	}
 
-	for _, k := range aKeys {
-		ea := aEvents[k]
-		eb, ok := bEvents[k]
-		if !ok {
-			d.Removed = append(d.Removed, k)
-			continue
+	// Every shape in either run, A's first-occurrence order first, then
+	// shapes only B has; the per-section sorts below make the report
+	// order independent of this traversal.
+	shapes := make([]shapeKey, 0, len(aShapes))
+	shapes = append(shapes, aShapes...)
+	for _, k := range bShapes {
+		if _, ok := aGroups[k]; !ok {
+			shapes = append(shapes, k)
 		}
-		startDelta := eb.Start - ea.Start
-		durDelta := (eb.End - eb.Start) - (ea.End - ea.Start)
-		if startDelta == 0 && durDelta == 0 {
-			d.Matched++
-			continue
-		}
-		d.Shifts = append(d.Shifts, Shift{Key: k, StartDelta: startDelta, DurDelta: durDelta})
 	}
-	for _, k := range bKeys {
-		if _, ok := aEvents[k]; !ok {
-			d.Added = append(d.Added, k)
+	shiftOrder := map[diffKey]int{} // run-A global order, the stable tie-break
+	for _, sk := range shapes {
+		key := func(ordinal int) diffKey {
+			return diffKey{track: sk.track, cat: sk.cat, name: sk.name, ordinal: ordinal}
 		}
+		alignShape(aGroups[sk], bGroups[sk],
+			func(ea, eb occurrence) {
+				if ea.start == eb.start && ea.dur == eb.dur {
+					d.Matched++
+					return
+				}
+				k := key(ea.ordinal)
+				shiftOrder[k] = ea.global
+				d.Shifts = append(d.Shifts, Shift{
+					Key:        k,
+					StartDelta: eb.start - ea.start,
+					DurDelta:   eb.dur - ea.dur,
+				})
+			},
+			func(ea occurrence) { d.Removed = append(d.Removed, key(ea.ordinal)) },
+			func(eb occurrence) { d.Added = append(d.Added, key(eb.ordinal)) },
+		)
 	}
 	sortKeys(d.Removed)
 	sortKeys(d.Added)
@@ -160,7 +260,7 @@ func DiffRecordings(a, b *Recorder) *Diff {
 		if ai != aj {
 			return ai > aj
 		}
-		return false // stable: insertion (run-A) order breaks ties
+		return shiftOrder[d.Shifts[i].Key] < shiftOrder[d.Shifts[j].Key]
 	})
 
 	// Per-track utilization deltas, each run against its own horizon.

@@ -75,8 +75,8 @@ func TestFacadeTopology(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := powermanna.ExperimentIDs()
-	if len(ids) != 18 {
-		t.Errorf("experiment count = %d, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Errorf("experiment count = %d, want 19", len(ids))
 	}
 	r, err := powermanna.RunExperiment("table1", powermanna.ExperimentOptions{Quick: true})
 	if err != nil {
