@@ -117,6 +117,18 @@ if ! cmp -s testdata/pmtrace_link-cut_seed1.golden "$bindir/pmtrace.out"; then
     exit 1
 fi
 
+echo "== node-partitioned single-workload equivalence =="
+# The tentpole contract of the partitioned datapath: one System256
+# application, its sends split across psim shards through cross-shard
+# mailboxes, must reproduce the sequential golden byte for byte when the
+# workload itself runs partitioned (--engine par --shards 4).
+"$bindir/pmfault" --campaign heat-linkcut --topo system256 --seed 1 --engine par --shards 4 > "$bindir/pmfault.out"
+if ! cmp -s testdata/pmfault_heat-linkcut_system256_seed1.golden "$bindir/pmfault.out"; then
+    echo "pmfault --engine par --shards 4 diverged from testdata/pmfault_heat-linkcut_system256_seed1.golden:" >&2
+    diff testdata/pmfault_heat-linkcut_system256_seed1.golden "$bindir/pmfault.out" >&2 || true
+    exit 1
+fi
+
 echo "== pmtrace smoke exports =="
 # A comm workload and a fault campaign, traced with a fixed seed; the
 # Chrome trace_event exports must match the goldens byte for byte (the

@@ -6,15 +6,17 @@
 // the paper's duplicated communication system (Section 4) exists for.
 //
 // Besides the synthetic-traffic campaigns it runs application campaigns
-// (heat-linkcut, allreduce-linkcut): a real workload over the
-// message-passing layer while plane-A uplinks die, reporting makespan
-// inflation with failover traffic contending against the plane-B OS
-// stream.
+// (heat-linkcut, allreduce-linkcut): a real workload SPMD-style over the
+// node-partitioned message-passing layer while plane-A uplinks die,
+// reporting makespan inflation. Under --engine par --shards N the
+// workload itself runs partitioned across N psim shards; output stays
+// byte-identical to --engine seq at every aligned shard count.
 //
 // Usage:
 //
 //	pmfault --campaign link-cut --seed 1
 //	pmfault --campaign heat-linkcut --seed 1
+//	pmfault --campaign heat-linkcut --topo system256 --engine par --shards 4
 //	pmfault --campaign mixed --topo system256 --messages 800
 //	pmfault --campaign link-cut --metrics
 //	pmfault --campaign link-cut --engine par
@@ -66,6 +68,7 @@ func main() {
 		windowUS     = flag.Int64("window-us", int64(fault.DefaultWindow/sim.Microsecond), "simulated span in microseconds traffic spreads over")
 		metricsFlag  = flag.Bool("metrics", false, "append the highest-rate row's metrics dump (latency/detection histograms, send outcomes, arb waits)")
 		engineFlag   = flag.String("engine", "seq", "event engine: seq (sequential) or par (one psim shard per degradation row; byte-identical output)")
+		shardsFlag   = flag.Int("shards", 0, "psim shard count for partitioned app workloads under --engine par (0 = 1; must align with the topology's leaf groups)")
 		listOnly     = flag.Bool("list", false, "list campaign names and exit")
 	)
 	flag.Parse()
@@ -113,6 +116,7 @@ func main() {
 		PayloadBytes: *payload,
 		Window:       sim.Time(*windowUS) * sim.Microsecond,
 		Engine:       engine,
+		Shards:       *shardsFlag,
 	}
 	var reg *metrics.Registry
 	if *metricsFlag {

@@ -44,6 +44,12 @@ const (
 	MetricTokenLatency = "earth.token.latency"
 	// MetricTokensRemote counts tokens that crossed the network.
 	MetricTokensRemote = "earth.token.remote"
+	// MetricFiberDwell is the ready-queue dwell-time histogram: how long
+	// each fiber sat ready before its EU dequeued it, observed on every
+	// dequeue — including the zero-dwell dequeues of an idle EU, so the
+	// histogram's count equals the fiber count and its shape exposes EU
+	// backlog rather than just its tail.
+	MetricFiberDwell = "earth.fiber.dwell"
 	// MetricReadyPeak is the high-water mark of any node's ready-fiber
 	// queue — how much latent parallelism the split-phase style exposed.
 	MetricReadyPeak = "earth.ready.peak"
@@ -122,12 +128,16 @@ type System struct {
 type earthInstruments struct {
 	tokenLatency *metrics.Histogram
 	tokensRemote *metrics.Counter
+	fiberDwell   *metrics.Histogram
 	readyPeak    *metrics.Gauge
 }
 
 type fiberInst struct {
 	proc ProcID
 	args []int64
+	// readyAt is when the fiber entered the ready queue; runFiber
+	// observes dequeue time minus readyAt as the dwell.
+	readyAt sim.Time
 }
 
 type syncSlot struct {
@@ -199,10 +209,10 @@ func (s *System) SetRecorder(r *trace.Recorder) {
 }
 
 // SetMetrics attaches a metrics registry to the runtime and its network:
-// remote-token delivery latencies, the remote-token count and the
-// ready-queue high-water mark land in the earth.* instruments, and the
-// network feeds its own netsim.* and xbar.* families. A nil registry
-// detaches everything.
+// remote-token delivery latencies, the remote-token count, the
+// ready-queue dwell histogram and the ready-queue high-water mark land
+// in the earth.* instruments, and the network feeds its own netsim.*
+// and xbar.* families. A nil registry detaches everything.
 func (s *System) SetMetrics(m *metrics.Registry) {
 	if m == nil {
 		s.met = earthInstruments{}
@@ -212,6 +222,7 @@ func (s *System) SetMetrics(m *metrics.Registry) {
 			// runtime view lines up under the transport view in the dump.
 			tokenLatency: m.TimeHistogram(MetricTokenLatency, metrics.TimeBuckets(sim.Microsecond, 2, 10)),
 			tokensRemote: m.Counter(MetricTokensRemote),
+			fiberDwell:   m.TimeHistogram(MetricFiberDwell, metrics.TimeBuckets(sim.Microsecond, 2, 10)),
 			readyPeak:    m.Gauge(MetricReadyPeak),
 		}
 	}
@@ -292,6 +303,7 @@ func (s *System) makespan() sim.Time {
 // if it is idle.
 func (s *System) enqueueFiber(node int, f fiberInst, t sim.Time) {
 	ns := s.nodes[node]
+	f.readyAt = t
 	ns.ready = append(ns.ready, f)
 	s.met.readyPeak.Max(int64(len(ns.ready)))
 	s.kickEU(node, t)
@@ -319,6 +331,9 @@ func (s *System) runFiber(node int) {
 	s.fibersRun++
 
 	start := sim.Max(s.sched.Now(), ns.euFree)
+	// A fiber enqueued with a future ready time can be popped earlier by
+	// the EU's self-requeue loop; its dwell is zero, not negative.
+	s.met.fiberDwell.ObserveTime(sim.Max(0, start-f.readyAt))
 	ctx := &Ctx{sys: s, node: node, now: start}
 	ctx.now += s.cycles(s.params.FiberDispatchCycles)
 	s.procs[f.proc](ctx, f.args)

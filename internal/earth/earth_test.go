@@ -3,6 +3,7 @@ package earth
 import (
 	"testing"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 )
@@ -212,5 +213,26 @@ func TestEUSerializesFibers(t *testing.T) {
 	makespan := s.Run()
 	if makespan < 2*sim.Millisecond {
 		t.Errorf("two 1 ms fibers finished in %v, want >= 2ms (one EU)", makespan)
+	}
+}
+
+// TestFiberDwellHistogram pins the ready-queue dwell instrument: every
+// dequeue observes a dwell — including the zero-dwell dequeues of an
+// idle EU — so the histogram's count equals the fiber count, and a
+// loaded run records at least one zero dwell (the very first fiber
+// starts on an empty EU).
+func TestFiberDwellHistogram(t *testing.T) {
+	s := New(topo.Cluster8(), DefaultParams())
+	reg := metrics.NewRegistry()
+	s.SetMetrics(reg)
+	if _, _, err := RunFib(s, 12); err != nil {
+		t.Fatal(err)
+	}
+	dwell := reg.TimeHistogram(MetricFiberDwell, nil)
+	if got, want := dwell.Count(), s.Stats().FibersRun; got != want {
+		t.Errorf("dwell observations = %d, fibers run = %d", got, want)
+	}
+	if dwell.Count() == 0 {
+		t.Fatal("no fibers ran")
 	}
 }

@@ -5,14 +5,16 @@
 // a generated message stream; these campaigns answer the system-level
 // question the paper's duplicated network poses: what happens to an
 // actual application — the heat solver's halo exchanges, a collective's
-// butterfly — when plane-A uplinks die mid-run? The workload runs
-// unmodified over internal/mpl, whose per-rank transports carry every
-// message; severed plane-A wires push traffic onto plane B, where it
-// contends with the background operating-system stream (netsim's OS
-// stream, attached for every app campaign per Section 4's software
-// separation). The table reports makespan inflation instead of
-// per-message latency, because for an application that is the number
-// that matters.
+// butterfly — when plane-A uplinks die mid-run? The message-passing
+// workloads run SPMD-style over the node-partitioned datapath
+// (mpl.PWorld), whose split-phase sends cross psim shards through
+// mailboxes; severed plane-A wires push traffic onto plane B. EARTH
+// workloads keep the legacy single-heap path and additionally contend
+// with the background operating-system stream (netsim's OS stream, per
+// Section 4's software separation; partitioned rows carry none — see
+// AppCampaign.PartWorkload). The table reports makespan inflation
+// instead of per-message latency, because for an application that is
+// the number that matters.
 //
 // App campaigns inject only LinkCut faults, applied to the network up
 // front: a cut wire's state is parameterized by time (dead from At
@@ -69,10 +71,20 @@ type AppCampaign struct {
 	// makespan. It must also verify the computation's result — a fault
 	// campaign that silently returns wrong numbers proves nothing.
 	Workload func(w *mpl.World) (sim.Time, error)
+	// PartWorkload runs the application over the node-partitioned
+	// datapath (mpl.PWorld) instead of the legacy virtual-time world:
+	// rank goroutines, split-phase sends through psim mailboxes, and —
+	// under Options.Shards > 1 with the parallel engine — real
+	// single-workload parallelism. Output is byte-identical at every
+	// aligned shard count. Partitioned rows carry no background OS
+	// stream (the lazy injector needs the global send order the
+	// partitioned path dissolves), so their os-msgs column reads 0.
+	PartWorkload func(w *mpl.PWorld) (sim.Time, error)
 	// EarthWorkload runs an EARTH-runtime program instead of a
-	// message-passing one; exactly one of Workload and EarthWorkload is
-	// set. Like Workload it must verify its result, and it must surface a
-	// lost token as an error (System.Err), never a panic.
+	// message-passing one; exactly one of Workload, PartWorkload and
+	// EarthWorkload is set. Like Workload it must verify its result, and
+	// it must surface a lost token as an error (System.Err), never a
+	// panic.
 	EarthWorkload func(s *earth.System) (sim.Time, error)
 }
 
@@ -80,16 +92,16 @@ type AppCampaign struct {
 func AppCampaigns() []AppCampaign {
 	return []AppCampaign{
 		{
-			Name:        "heat-linkcut",
-			Description: "run the 1D heat solver while plane-A uplinks die; halo traffic fails over onto the OS-loaded plane B",
-			Rates:       []int{0, 1, 2, 4},
-			Workload:    heatWorkload,
+			Name:         "heat-linkcut",
+			Description:  "run the 1D heat solver over the partitioned datapath while plane-A uplinks die; halo traffic fails over to plane B",
+			Rates:        []int{0, 1, 2, 4},
+			PartWorkload: heatWorkload,
 		},
 		{
-			Name:        "allreduce-linkcut",
-			Description: "sweep AllReduce rounds while plane-A uplinks die; the butterfly's edges fail over onto the OS-loaded plane B",
-			Rates:       []int{0, 1, 2, 4},
-			Workload:    allreduceWorkload,
+			Name:         "allreduce-linkcut",
+			Description:  "sweep AllReduce rounds over the partitioned datapath while plane-A uplinks die; the butterfly's edges fail over to plane B",
+			Rates:        []int{0, 1, 2, 4},
+			PartWorkload: allreduceWorkload,
 		},
 		{
 			Name:          "fib-linkcut",
@@ -110,12 +122,13 @@ func AppCampaignByName(name string) (AppCampaign, bool) {
 	return AppCampaign{}, false
 }
 
-// heatWorkload solves the 1D heat equation across all ranks and checks
-// the field bit-identically against the serial reference — delivery over
-// a degraded network must not change the arithmetic.
-func heatWorkload(w *mpl.World) (sim.Time, error) {
-	cfg := heat.DefaultConfig(heatCellsPerRank*w.Ranks(), heatSteps)
-	res, err := heat.Run(w, cfg)
+// heatWorkload solves the 1D heat equation SPMD-style over the
+// partitioned world and checks the field bit-identically against the
+// serial reference — delivery over a degraded network must not change
+// the arithmetic.
+func heatWorkload(pw *mpl.PWorld) (sim.Time, error) {
+	cfg := heat.DefaultConfig(heatCellsPerRank*pw.Ranks(), heatSteps)
+	res, err := heat.RunPart(pw, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -132,25 +145,29 @@ func heatWorkload(w *mpl.World) (sim.Time, error) {
 }
 
 // allreduceWorkload sweeps AllReduce rounds with per-rank contributions
-// whose global sums are known in closed form, verifying each round.
-func allreduceWorkload(w *mpl.World) (sim.Time, error) {
-	p := w.Ranks()
+// whose global sums are known in closed form, verifying each round on
+// every rank.
+func allreduceWorkload(pw *mpl.PWorld) (sim.Time, error) {
+	p := pw.Ranks()
 	wantA := float64(p) * float64(p+1) / 2
-	for round := 0; round < allreduceRounds; round++ {
-		contrib := make([][]float64, p)
-		for r := 0; r < p; r++ {
-			contrib[r] = []float64{float64(r + 1), float64(round) * float64(r+1)}
+	err := pw.Run(func(r *mpl.PRank) error {
+		for round := 0; round < allreduceRounds; round++ {
+			contrib := []float64{float64(r.Rank() + 1), float64(round) * float64(r.Rank()+1)}
+			got, err := r.AllReduce(contrib, round)
+			if err != nil {
+				return err
+			}
+			wantB := float64(round) * wantA
+			if len(got) != 2 || got[0] != wantA || got[1] != wantB {
+				return fmt.Errorf("fault: allreduce round %d = %v, want [%v %v]", round, got, wantA, wantB)
+			}
 		}
-		got, err := w.AllReduce(contrib, round)
-		if err != nil {
-			return 0, err
-		}
-		wantB := float64(round) * wantA
-		if len(got) != 2 || got[0] != wantA || got[1] != wantB {
-			return 0, fmt.Errorf("fault: allreduce round %d = %v, want [%v %v]", round, got, wantA, wantB)
-		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return w.MaxTime(), nil
+	return pw.MaxTime(), nil
 }
 
 // fibWorkload runs the EARTH Fibonacci fiber tree and verifies the
@@ -220,31 +237,67 @@ type appOutcome struct {
 // the row's engine as their own event queue (earth.NewWithEngine), so
 // under the parallel sweep the runtime's events live on the row's
 // shard heap; message-passing workloads advance rank clocks directly
-// and use the engine only as the row's execution slot.
+// and use the engine only as the row's execution slot. Partitioned
+// workloads own a nested psim engine (the PWorld's shards), so their
+// rows must run on a plain scheduler — RunApp keeps them off the
+// parallel-row path and lets the PWorld supply the parallelism.
 func runAppRate(c AppCampaign, opt Options, rate int, observed bool, baseline sim.Time, eng sim.Engine, out *appOutcome) {
 	eng.At(0, func() {
 		var runW func() (sim.Time, error)
 		var net *netsim.Network
 		var setMetrics func(*metrics.Registry)
-		if c.EarthWorkload != nil {
+		var setRecorder func()
+		plane := func(p int) netsim.PlaneCounters { return net.Plane(p) }
+		counters := func(p int) stats.CounterSet { return net.PlaneCounterSet(p) }
+		osStream := true
+		switch {
+		case c.EarthWorkload != nil:
 			s := earth.NewWithEngine(opt.Topology, earth.DefaultParams(), netsim.DefaultFailover(), eng)
 			net = s.Network()
 			runW = func() (sim.Time, error) { return c.EarthWorkload(s) }
 			// EARTH workloads attach through the runtime so the earth.*
 			// instruments come along with the network's.
 			setMetrics = func(m *metrics.Registry) { s.SetMetrics(m) }
-		} else {
+			setRecorder = func() { net.SetRecorder(opt.Trace) }
+		case c.PartWorkload != nil:
+			shards := 1
+			if opt.Engine == psim.Par {
+				shards = opt.Shards
+			}
+			pw, err := mpl.NewPWorldWith(opt.Topology, shards, netsim.DefaultFailover())
+			if err != nil {
+				out.err = fmt.Errorf("fault: app campaign %q at rate %d: %w", c.Name, rate, err)
+				return
+			}
+			// The injector cuts wires on the underlying network; the
+			// partitioned datapath reads the same wire state, so LinkCut
+			// schedules apply unchanged. Delivery accounting, however,
+			// lives in the PartNetwork's folded per-shard counters.
+			net = pw.Network()
+			pn := pw.PartNetwork()
+			runW = func() (sim.Time, error) { return c.PartWorkload(pw) }
+			setMetrics = func(m *metrics.Registry) { pw.SetMetrics(m) }
+			setRecorder = func() { pw.SetRecorder(opt.Trace) }
+			plane = func(p int) netsim.PlaneCounters { return pn.Plane(p) }
+			counters = func(p int) stats.CounterSet { return pn.PlaneCounterSet(p) }
+			// No background OS stream: the lazy injector needs the global
+			// send order, which the partitioned split-phase path dissolves.
+			osStream = false
+		default:
 			w := mpl.NewWorldWith(opt.Topology, netsim.DefaultFailover())
 			net = w.Network()
 			runW = func() (sim.Time, error) { return c.Workload(w) }
 			// Message-passing workloads attach through the world so the
 			// mpl.* receive-wait view comes along with the network's.
 			setMetrics = func(m *metrics.Registry) { w.SetMetrics(m) }
+			setRecorder = func() { net.SetRecorder(opt.Trace) }
 		}
-		net.AttachOSStream(netsim.DefaultOSStream())
+		if osStream {
+			net.AttachOSStream(netsim.DefaultOSStream())
+		}
 		if observed {
 			if opt.Trace != nil {
-				net.SetRecorder(opt.Trace)
+				setRecorder()
 			}
 			if opt.Metrics != nil {
 				setMetrics(opt.Metrics)
@@ -280,7 +333,7 @@ func runAppRate(c AppCampaign, opt Options, rate int, observed bool, baseline si
 			out.err = fmt.Errorf("fault: app campaign %q at rate %d: %w", c.Name, rate, err)
 			return
 		}
-		pa, pb := net.Plane(topo.NetworkA), net.Plane(topo.NetworkB)
+		pa, pb := plane(topo.NetworkA), plane(topo.NetworkB)
 		out.row = AppRow{
 			Faults:     rate,
 			Makespan:   makespan,
@@ -293,22 +346,25 @@ func runAppRate(c AppCampaign, opt Options, rate int, observed bool, baseline si
 			out.row.Inflation = float64(makespan) / float64(baseline)
 		}
 		out.schedule = inj.Events()
-		out.planeA = net.PlaneCounterSet(topo.NetworkA)
-		out.planeB = net.PlaneCounterSet(topo.NetworkB)
+		out.planeA = counters(topo.NetworkA)
+		out.planeB = counters(topo.NetworkB)
 		if observed && opt.Metrics != nil {
-			publishDispatchOccupancy(opt.Metrics, net)
+			publishDispatchOccupancy(opt.Metrics, pa.Delivered+pb.Delivered)
 		}
 	})
 }
 
 // RunApp executes the application campaign: for each fault count it
-// builds a fresh world with per-rank transports and the plane-B OS
-// stream, applies a seeded plane-A link-cut schedule up front, runs the
-// workload, and collects a makespan row. The 0-rate row always runs
-// first and alone — its makespan sizes the fault window every later
-// row draws from; under Options.Engine == psim.Par the remaining rows
-// then run concurrently, one psim shard each. Deterministic either
-// way: same spec and options, byte-identical AppResult.
+// builds a fresh world, applies a seeded plane-A link-cut schedule up
+// front, runs the workload, and collects a makespan row. The 0-rate
+// row always runs first and alone — its makespan sizes the fault
+// window every later row draws from; under Options.Engine == psim.Par
+// the remaining rows then run concurrently, one psim shard each —
+// except for partitioned workloads, whose rows always run
+// sequentially because each row's PWorld owns its own psim engine
+// (Options.Shards wide) and supplies the parallelism itself.
+// Deterministic either way: same spec and options, byte-identical
+// AppResult.
 func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 	opt = opt.resolved()
 	if len(c.Rates) == 0 || c.Rates[0] != 0 {
@@ -326,7 +382,7 @@ func RunApp(c AppCampaign, opt Options) (*AppResult, error) {
 	baseline := outs[0].row.Makespan
 
 	rest := c.Rates[1:]
-	if opt.Engine == psim.Par && len(rest) > 0 {
+	if opt.Engine == psim.Par && len(rest) > 0 && c.PartWorkload == nil {
 		eng := psim.NewEngine(len(rest), 0)
 		for i, rate := range rest {
 			runAppRate(c, opt, rate, i == len(rest)-1, baseline, eng.Shard(i), &outs[i+1])
@@ -378,8 +434,12 @@ func (r *AppResult) Table() *stats.Table {
 func (r *AppResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### campaign %s — %s\n", r.Campaign.Name, r.Campaign.Description)
-	fmt.Fprintf(&b, "topology %s, seed %d, application workload with plane-B OS stream\n\n",
-		r.Options.Topology.Name(), r.Options.Seed)
+	workload := "application workload with plane-B OS stream"
+	if r.Campaign.PartWorkload != nil {
+		workload = "partitioned application workload, no OS stream"
+	}
+	fmt.Fprintf(&b, "topology %s, seed %d, %s\n\n",
+		r.Options.Topology.Name(), r.Options.Seed, workload)
 	b.WriteString(r.Table().Render())
 	fmt.Fprintf(&b, "\nfault schedule at %d faults:\n", r.Rows[len(r.Rows)-1].Faults)
 	if len(r.Schedule) == 0 {

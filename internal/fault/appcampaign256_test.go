@@ -38,7 +38,13 @@ func TestAppCampaignsOnSystem256(t *testing.T) {
 				if row.Inflation < 1 {
 					t.Errorf("row %d inflation = %.3f, below baseline", i, row.Inflation)
 				}
-				if row.OSMessages == 0 {
+				if c.PartWorkload != nil {
+					// Partitioned rows carry no background OS stream (the
+					// lazy injector needs the global send order).
+					if row.OSMessages != 0 {
+						t.Errorf("row %d: partitioned row reports %d OS messages", i, row.OSMessages)
+					}
+				} else if row.OSMessages == 0 {
 					t.Errorf("row %d: OS stream absent", i)
 				}
 			}
@@ -136,6 +142,9 @@ func TestAppCampaignMetricsHook(t *testing.T) {
 	}
 	if reg.Gauge(earth.MetricReadyPeak).Value() == 0 {
 		t.Error("ready-queue peak never raised")
+	}
+	if reg.TimeHistogram(earth.MetricFiberDwell, nil).Count() == 0 {
+		t.Error("no fiber dwell times observed")
 	}
 	if reg.Counter(netsim.MetricSends).Value() == 0 {
 		t.Error("network instruments not attached through the runtime")

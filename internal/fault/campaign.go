@@ -150,6 +150,13 @@ type Options struct {
 	// concurrently — rows share no mutable state, so the merged result
 	// is byte-identical to the sequential run.
 	Engine psim.Kind
+	// Shards partitions application workloads that run over the
+	// node-partitioned datapath (mpl.PWorld campaigns): under Engine ==
+	// psim.Par each row's world spreads its nodes across this many psim
+	// shards. Zero means 1. The partitioned determinism contract keeps
+	// the result byte-identical at every aligned shard count, so Shards
+	// changes wall-clock, never output.
+	Shards int
 }
 
 func (o Options) resolved() Options {
@@ -167,6 +174,9 @@ func (o Options) resolved() Options {
 	}
 	if o.Window == 0 {
 		o.Window = DefaultWindow
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -382,7 +392,7 @@ func runRate(c Campaign, opt Options, cfg netsim.FailoverConfig, rate int, obser
 				out.xbars = xbarTable(net, opt.Topology)
 			}
 			if observed && opt.Metrics != nil {
-				publishDispatchOccupancy(opt.Metrics, net)
+				publishDispatchOccupancy(opt.Metrics, net.Plane(topo.NetworkA).Delivered+net.Plane(topo.NetworkB).Delivered)
 			}
 		})
 	})

@@ -3,8 +3,6 @@ package fault
 import (
 	"powermanna/internal/dispatch"
 	"powermanna/internal/metrics"
-	"powermanna/internal/netsim"
-	"powermanna/internal/topo"
 )
 
 // publishDispatchOccupancy replays the metrics row's delivered traffic
@@ -16,12 +14,8 @@ import (
 // delivered message, alternating the node's two masters. The replay is
 // a pure function of the delivery count — deterministic, and it touches
 // no network state, so the netsim instruments and goldens are unchanged.
-func publishDispatchOccupancy(m *metrics.Registry, net *netsim.Network) {
-	if m == nil {
-		return
-	}
-	delivered := net.Plane(topo.NetworkA).Delivered + net.Plane(topo.NetworkB).Delivered
-	if delivered == 0 {
+func publishDispatchOccupancy(m *metrics.Registry, delivered int64) {
+	if m == nil || delivered == 0 {
 		return
 	}
 	cfg := dispatch.DefaultConfig()

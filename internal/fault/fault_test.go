@@ -183,7 +183,13 @@ func TestAppCampaignDegradation(t *testing.T) {
 				if row.Faults > 0 && row.FailedOver == 0 {
 					t.Errorf("row %d: faults injected but nothing failed over", i)
 				}
-				if row.OSMessages == 0 {
+				if c.PartWorkload != nil {
+					// Partitioned rows carry no background OS stream (the
+					// lazy injector needs the global send order).
+					if row.OSMessages != 0 {
+						t.Errorf("row %d: partitioned row reports %d OS messages", i, row.OSMessages)
+					}
+				} else if row.OSMessages == 0 {
 					t.Errorf("row %d: OS stream injected nothing", i)
 				}
 			}
@@ -220,7 +226,7 @@ func TestAppCampaignGolden(t *testing.T) {
 // TestAppCampaignValidation pins the rate-0-first requirement and name
 // resolution.
 func TestAppCampaignValidation(t *testing.T) {
-	bad := AppCampaign{Name: "bad", Rates: []int{1}, Workload: allreduceWorkload}
+	bad := AppCampaign{Name: "bad", Rates: []int{1}, PartWorkload: allreduceWorkload}
 	if _, err := RunApp(bad, Options{Seed: 1}); err == nil {
 		t.Error("campaign without a leading 0 rate accepted")
 	}

@@ -274,6 +274,65 @@ func TimeBuckets(lo sim.Time, factor int64, n int) []sim.Time {
 	return bounds
 }
 
+// MergeFrom folds another registry's observations into this one:
+// counters and histogram tallies add, gauges keep the maximum (the
+// high-water semantics every gauge in shard registries uses). Histograms
+// merge exactly — bucket counts, count, sum and the min/max envelope —
+// because every aggregate is a sum or an extremum, both commutative, so
+// merging per-shard registries in shard order yields the same dump
+// regardless of which shard observed what first at distinct instants.
+// Instruments missing on the destination are created with the source's
+// shape. Merging is the single-threaded fan-in step of a partitioned
+// run (internal/netsim); it must not race with observations.
+func (r *Registry) MergeFrom(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	names := make([]string, 0, len(src.counters))
+	for n := range src.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Counter(n).Add(src.counters[n].v)
+	}
+	names = names[:0]
+	for n := range src.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Gauge(n).Max(src.gauges[n].v)
+	}
+	names = names[:0]
+	for n := range src.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sh := src.hists[n]
+		h := r.Histogram(n, sh.bounds)
+		h.timeValued = h.timeValued || sh.timeValued
+		if sh.count == 0 {
+			continue
+		}
+		if len(h.bounds) != len(sh.bounds) {
+			panic(fmt.Sprintf("metrics: merging histogram %q with mismatched buckets", n))
+		}
+		if h.count == 0 || sh.min < h.min {
+			h.min = sh.min
+		}
+		if h.count == 0 || sh.max > h.max {
+			h.max = sh.max
+		}
+		h.count += sh.count
+		h.sum += sh.sum
+		for i, c := range sh.counts {
+			h.counts[i] += c
+		}
+	}
+}
+
 // Render produces the registry's stable text dump: one line per counter
 // and gauge, a header plus one bucket line per histogram, each kind
 // sorted by instrument name. The dump is a pure function of the

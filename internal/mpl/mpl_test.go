@@ -293,7 +293,11 @@ func TestBarrierRepeatedRounds(t *testing.T) {
 // benchmark path: with no recorder attached, the trace instrumentation
 // must cost nothing — the steady-state Send/Recv pair stays at the
 // pre-trace allocation budget (9 allocs/op measured on
-// BenchmarkSendSystem256 before internal/trace existed).
+// BenchmarkSendSystem256 before internal/trace existed, plus one for
+// the failed-attempt teardown hold: this workload's lagging rank
+// clocks make some sends contend with the past, and a setup-timed-out
+// attempt now claims its partial circuit until the ack-timeout
+// teardown, appending one hold window).
 func TestSendTracingOffAddsNoAllocs(t *testing.T) {
 	w := NewWorld(topo.System256())
 	if w.Network().Recorder() != nil {
@@ -324,7 +328,7 @@ func TestSendTracingOffAddsNoAllocs(t *testing.T) {
 		}
 		i++
 	})
-	if allocs > 9 {
-		t.Errorf("Send/Recv with tracing off = %.1f allocs/op, want <= 9 (pre-trace baseline)", allocs)
+	if allocs > 10 {
+		t.Errorf("Send/Recv with tracing off = %.1f allocs/op, want <= 10 (pre-trace baseline + teardown hold)", allocs)
 	}
 }

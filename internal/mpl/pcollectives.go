@@ -1,0 +1,129 @@
+package mpl
+
+import "fmt"
+
+// Per-rank collectives for the partitioned world: the same binomial
+// trees, tags and reduction costs as the World collectives, rewritten
+// in SPMD form. Where the World drives every rank's role from one
+// loop, each PRank here derives its own role per tree level from its
+// index: at level k a rank whose lowest set bit is k is a child (it
+// exchanges with rank - 2^k), and a rank with all bits at or below k
+// clear is a parent of rank + 2^k when that rank exists. Gather levels
+// ascend, broadcast levels descend, so a rank always holds data before
+// it forwards.
+
+// Barrier synchronizes all ranks: a binomial gather to rank 0 followed
+// by a binomial broadcast of the release, with the World's tags.
+func (r *PRank) Barrier(round int) error {
+	p, rank := r.Ranks(), r.rank
+	tag := tagBarrier + 2*round
+	for k := 0; 1<<k < p; k++ {
+		span := 1 << (k + 1)
+		switch {
+		case rank%span == 1<<k:
+			if err := r.Send(rank-1<<k, tag, nil); err != nil {
+				return err
+			}
+		case rank%span == 0 && rank+1<<k < p:
+			if _, err := r.Recv(rank+1<<k, tag); err != nil {
+				return err
+			}
+		}
+	}
+	rel := tagBarrier + 2*round + 1
+	for k := bits(p) - 1; k >= 0; k-- {
+		span := 1 << (k + 1)
+		switch {
+		case rank%span == 1<<k:
+			if _, err := r.Recv(rank-1<<k, rel); err != nil {
+				return err
+			}
+		case rank%span == 0 && rank+1<<k < p:
+			if err := r.Send(rank+1<<k, rel, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Bcast distributes vec from rank 0 to all ranks and returns this
+// rank's copy (rank 0 returns vec itself). Non-root ranks may pass
+// nil.
+func (r *PRank) Bcast(vec []float64, tag int) ([]float64, error) {
+	p, rank := r.Ranks(), r.rank
+	data := vec
+	has := rank == 0
+	for k := bits(p) - 1; k >= 0; k-- {
+		span := 1 << (k + 1)
+		switch {
+		case rank%span == 1<<k:
+			b, err := r.Recv(rank-1<<k, tagBcast+tag)
+			if err != nil {
+				return nil, err
+			}
+			data = decodeVec(b)
+			has = true
+		case rank%span == 0 && rank+1<<k < p && has:
+			if err := r.Send(rank+1<<k, tagBcast+tag, encodeVec(data)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// AllReduce sums each rank's vector element-wise and returns the
+// global sum on every rank: binomial reduction to rank 0 with the
+// World's per-level tags and reduction cost, then broadcast.
+func (r *PRank) AllReduce(vec []float64, tag int) ([]float64, error) {
+	p, rank := r.Ranks(), r.rank
+	n := len(vec)
+	acc := append([]float64(nil), vec...)
+	for k := 0; 1<<k < p; k++ {
+		span := 1 << (k + 1)
+		switch {
+		case rank%span == 1<<k:
+			if err := r.Send(rank-1<<k, tagReduce+tag+k, encodeVec(acc)); err != nil {
+				return nil, err
+			}
+		case rank%span == 0 && rank+1<<k < p:
+			b, err := r.Recv(rank+1<<k, tagReduce+tag+k)
+			if err != nil {
+				return nil, err
+			}
+			v := decodeVec(b)
+			if len(v) != n {
+				return nil, fmt.Errorf("mpl: rank %d reduce level %d got %d elements, want %d", rank, k, len(v), n)
+			}
+			for i := range acc {
+				acc[i] += v[i]
+			}
+			r.Compute(r.w.cycles(int64(n * reduceOpCyclesPerElement)))
+		}
+	}
+	return r.Bcast(acc, tag)
+}
+
+// Gather collects every rank's vector at rank 0 (direct sends, the
+// World's scheme) and returns them in rank order at rank 0; other
+// ranks return nil.
+func (r *PRank) Gather(vec []float64, tag int) ([][]float64, error) {
+	p, rank := r.Ranks(), r.rank
+	if rank != 0 {
+		if err := r.Send(0, tagGather+tag+rank, encodeVec(vec)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	out := make([][]float64, p)
+	out[0] = vec
+	for q := 1; q < p; q++ {
+		b, err := r.Recv(q, tagGather+tag+q)
+		if err != nil {
+			return nil, err
+		}
+		out[q] = decodeVec(b)
+	}
+	return out, nil
+}

@@ -1,0 +1,362 @@
+// PWorld: the message-passing layer over the node-partitioned datapath.
+//
+// The legacy World is a virtual-time machine: one goroutine owns every
+// rank clock and the whole network, and sends resolve synchronously in
+// program order. That shape cannot parallelise — and it cannot even
+// express a genuinely concurrent workload, because rank program order
+// is the global order. PWorld keeps the same calibrated software
+// overheads (comm.PMParams: PIO lines, poll cycles, setup cycles) but
+// runs each rank as its own goroutine over a netsim.PartNetwork: sends
+// go through the split-phase failover protocol (netsim.SendAsync),
+// receives block on real arrival events, and rank execution is driven
+// by the psim shard that owns the rank's node.
+//
+// Scheduling discipline — rank code runs only nested inside a shard
+// event. Each rank goroutine and its shard hand control back and forth
+// over a pair of unbuffered channels: the shard wakes the rank
+// (resume), the rank runs until it must wait for the network, then
+// yields. The shard goroutine is blocked in the yield receive for the
+// whole time the rank runs, so rank code has exclusive, race-free
+// access to everything its shard owns, and every rank step is anchored
+// to a deterministic event. A rank that is still parked when the
+// engine drains is deadlocked (a receive nothing will match); Run
+// aborts it via runtime.Goexit and reports which ranks were stuck.
+//
+// Model differences from the legacy World, both inherent to losing the
+// global sequential order: a rank's virtual clock may lag its shard's
+// event clock (the verdict that frees the sender arrives at network
+// time), so SendAsync clamps entry times forward — consecutive sends
+// never enter the network before the previous verdict; and there is no
+// background OS stream (the lazy injector advances on the global send
+// order, which no longer exists).
+package mpl
+
+import (
+	"fmt"
+	"runtime"
+
+	"powermanna/internal/comm"
+	"powermanna/internal/link"
+	"powermanna/internal/metrics"
+	"powermanna/internal/netsim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+	"powermanna/internal/trace"
+)
+
+// prState says what a parked rank is waiting for, so the shard-side
+// hooks know whether an event resolves the wait.
+type prState int
+
+const (
+	// prRun: the rank is runnable (executing, or not waiting on the
+	// network). Hooks never wake a prRun rank.
+	prRun prState = iota
+	// prSendWait: parked in Send until the in-flight message's verdict.
+	prSendWait
+	// prRecvWait: parked in Recv until any message arrives; the rank
+	// re-scans its queue on wake.
+	prRecvWait
+)
+
+// ptag is the cross-shard cargo of one mpl message: the user tag plus
+// the payload copy. It crosses psim mailboxes as immutable data.
+type ptag struct {
+	tag  int
+	data []byte
+}
+
+// pmessage is one delivered message in a rank's receive queue.
+type pmessage struct {
+	src, tag  int
+	payload   []byte
+	arrival   sim.Time
+	firstByte sim.Time
+}
+
+// PWorld is one SPMD program run over a partitioned network: one rank
+// per node, each a goroutine scheduled by its node's shard.
+type PWorld struct {
+	pn     *netsim.PartNetwork
+	params comm.PMParams
+	ranks  []*PRank
+	// sends and bytes are per-rank so each is written only from its
+	// rank's shard; Stats sums them after the engine has drained.
+	sends []int64
+	bytes []int64
+	ran   bool
+}
+
+// PRank is one rank's handle: the argument of the SPMD function. All
+// methods must be called from that function (the rank's goroutine).
+type PRank struct {
+	w    *PWorld
+	rank int
+	// clock is the rank's virtual CPU time, advanced by its own sends,
+	// receives and computation exactly as the legacy World advances it.
+	clock sim.Time
+	queue []pmessage
+	state prState
+	// resume and yield are the control-handoff pair: the shard side
+	// sends resume (false = abort) and blocks on yield until the rank
+	// parks or finishes.
+	resume chan bool
+	yield  chan struct{}
+	done   bool
+	err    error
+	// recvWait is the rank's shard-local view of MetricRecvWait.
+	recvWait *metrics.Histogram
+}
+
+// NewPWorld builds a partitioned world over the topology with the
+// default failover protocol, one rank per node, across the given
+// number of psim shards.
+func NewPWorld(t *topo.Topology, shards int) (*PWorld, error) {
+	return NewPWorldWith(t, shards, netsim.DefaultFailover())
+}
+
+// NewPWorldWith builds a partitioned world with an explicit failover
+// configuration.
+func NewPWorldWith(t *topo.Topology, shards int, cfg netsim.FailoverConfig) (*PWorld, error) {
+	pn, err := netsim.NewPartitioned(t, shards, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &PWorld{
+		pn:     pn,
+		params: comm.DefaultPMParams(),
+		sends:  make([]int64, t.Nodes()),
+		bytes:  make([]int64, t.Nodes()),
+	}
+	for i := 0; i < t.Nodes(); i++ {
+		w.ranks = append(w.ranks, &PRank{
+			w: w, rank: i,
+			resume: make(chan bool),
+			yield:  make(chan struct{}),
+		})
+	}
+	pn.OnDeliver(func(src, dst int, payload any, first, last sim.Time) {
+		pt := payload.(ptag)
+		r := w.ranks[dst]
+		r.queue = append(r.queue, pmessage{
+			src: src, tag: pt.tag, payload: pt.data,
+			arrival: last, firstByte: first,
+		})
+		if r.state == prRecvWait {
+			r.state = prRun
+			r.wake()
+		}
+	})
+	return w, nil
+}
+
+// PartNetwork exposes the partitioned datapath (for SetSerial and the
+// shard accessors).
+func (w *PWorld) PartNetwork() *netsim.PartNetwork { return w.pn }
+
+// Network exposes the underlying network for fault injection. Only
+// pre-run faults (wire cuts and corruption windows) are sound: the
+// wire state is immutable during the run and read from many shards.
+func (w *PWorld) Network() *netsim.Network { return w.pn.Network() }
+
+// SetMetrics attaches the world to a registry: the partitioned
+// network's per-shard instruments plus the receive-wait view, observed
+// into each rank's own shard registry and folded after the run.
+func (w *PWorld) SetMetrics(m *metrics.Registry) {
+	w.pn.SetMetrics(m)
+	for _, r := range w.ranks {
+		reg := w.pn.ShardRegistry(w.pn.ShardOf(r.rank))
+		r.recvWait = reg.TimeHistogram(MetricRecvWait, metrics.TimeBuckets(sim.Microsecond, 2, 10))
+	}
+}
+
+// SetRecorder attaches a trace recorder (per-shard recorders, merged
+// canonically after the run).
+func (w *PWorld) SetRecorder(r *trace.Recorder) { w.pn.SetRecorder(r) }
+
+// Ranks reports the number of ranks.
+func (w *PWorld) Ranks() int { return len(w.ranks) }
+
+// MaxTime reports the latest rank clock (the makespan). Valid after
+// Run has returned.
+func (w *PWorld) MaxTime() sim.Time {
+	var max sim.Time
+	for _, r := range w.ranks {
+		if r.clock > max {
+			max = r.clock
+		}
+	}
+	return max
+}
+
+// Stats reports message traffic. Valid after Run has returned.
+func (w *PWorld) Stats() (messages, payloadBytes int64) {
+	var m, b int64
+	for i := range w.sends {
+		m += w.sends[i]
+		b += w.bytes[i]
+	}
+	return m, b
+}
+
+func (w *PWorld) cycles(n int64) sim.Time { return w.params.CPUClock.Cycles(n) }
+
+// Run executes fn once per rank, each on its own goroutine, and drives
+// them through the partitioned network until every rank returns or the
+// engine drains with ranks still parked (a communication deadlock —
+// reported as an error naming the stuck ranks). Run may be called
+// once per world.
+func (w *PWorld) Run(fn func(r *PRank) error) error {
+	if w.ran {
+		return fmt.Errorf("mpl: PWorld.Run called twice")
+	}
+	w.ran = true
+	for _, r := range w.ranks {
+		r := r
+		go func() {
+			// The final yield pairs with whichever resume ran the rank
+			// last — Goexit from an aborted park runs it too.
+			defer func() { r.yield <- struct{}{} }()
+			if ok := <-r.resume; !ok {
+				return
+			}
+			r.err = fn(r)
+			r.done = true
+		}()
+		w.pn.Shard(w.pn.ShardOf(r.rank)).At(0, func() { r.wake() })
+	}
+	w.pn.Run()
+	var stuck []int
+	for _, r := range w.ranks {
+		if !r.done {
+			stuck = append(stuck, r.rank)
+			r.resume <- false
+			<-r.yield
+		}
+	}
+	if len(stuck) > 0 {
+		return fmt.Errorf("mpl: ranks %v still waiting when the network drained (communication deadlock)", stuck)
+	}
+	for _, r := range w.ranks {
+		if r.err != nil {
+			return fmt.Errorf("mpl: rank %d: %w", r.rank, r.err)
+		}
+	}
+	return nil
+}
+
+// wake hands control to the rank goroutine and blocks until it parks
+// again or finishes. Must run inside an event on the rank's shard.
+func (r *PRank) wake() {
+	r.resume <- true
+	<-r.yield
+}
+
+// park hands control back to the shard side and blocks until a hook
+// wakes the rank. A false resume aborts the rank (engine drained with
+// the rank still waiting); Goexit runs the goroutine's deferred final
+// yield.
+func (r *PRank) park() {
+	r.yield <- struct{}{}
+	if ok := <-r.resume; !ok {
+		runtime.Goexit()
+	}
+}
+
+// Rank reports this rank's index.
+func (r *PRank) Rank() int { return r.rank }
+
+// Ranks reports the world size.
+func (r *PRank) Ranks() int { return len(r.w.ranks) }
+
+// Now reports the rank's virtual CPU time.
+func (r *PRank) Now() sim.Time { return r.clock }
+
+// Compute advances the rank's clock by local computation time.
+func (r *PRank) Compute(d sim.Time) { r.clock += d }
+
+// Send posts payload to rank dst with a tag, paying the same
+// user-level send path as the legacy World (setup cycles, PIO lines,
+// FIFO overlap with the link). The rank parks until the failover
+// protocol renders the message's verdict; a message lost on both
+// planes is an error.
+func (r *PRank) Send(dst, tag int, payload []byte) error {
+	w := r.w
+	if dst == r.rank {
+		return fmt.Errorf("mpl: self-send from rank %d", r.rank)
+	}
+	start := r.clock + w.cycles(w.params.SendSetupCycles)
+	start += w.params.PIOWriteLine
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	var del netsim.Delivery
+	got := false
+	err := w.pn.SendAsync(r.rank, dst, len(payload), ptag{tag: tag, data: cp}, start,
+		func(d netsim.Delivery) {
+			del, got = d, true
+			if r.state == prSendWait {
+				r.state = prRun
+				r.wake()
+			}
+		})
+	if err != nil {
+		return err
+	}
+	if !got {
+		// The verdict is pending in the network; the callback above
+		// runs on this shard and resumes us.
+		r.state = prSendWait
+		r.park()
+	}
+	if del.Failed {
+		return fmt.Errorf("mpl: message %d->%d lost on both planes", r.rank, dst)
+	}
+	tail := len(payload) - w.params.FIFOBytes
+	senderDone := start
+	if tail > 0 {
+		senderDone = del.Done - sim.Time(w.params.FIFOBytes)*link.BytePeriod
+		if senderDone < start {
+			senderDone = start
+		}
+	} else {
+		lines := (len(payload) + 63) / 64
+		senderDone = start + sim.Time(lines)*w.params.PIOWriteLine
+	}
+	r.clock = senderDone
+	w.sends[r.rank]++
+	w.bytes[r.rank] += int64(len(payload))
+	return nil
+}
+
+// Recv blocks the rank until a message from src with the tag has fully
+// arrived, drains it from the receive FIFO and returns the payload.
+// Matching is FIFO within (src, tag), over the deterministic delivery
+// order of the partitioned network.
+func (r *PRank) Recv(src, tag int) ([]byte, error) {
+	w := r.w
+	for {
+		for i, m := range r.queue {
+			if m.src != src || m.tag != tag {
+				continue
+			}
+			r.queue = append(r.queue[:i:i], r.queue[i+1:]...)
+			t := r.clock + w.cycles(w.params.PollCycles)
+			var wait sim.Time
+			if m.arrival > t {
+				wait = m.arrival - t
+				t = m.arrival + w.cycles(w.params.PollCycles)/2
+			}
+			r.recvWait.ObserveTime(wait)
+			lines := (len(m.payload) + 63) / 64
+			if lines < 1 {
+				lines = 1
+			}
+			t += sim.Time(lines) * w.params.PIOReadLine
+			t += w.cycles(w.params.RecvReturnCycles)
+			r.clock = t
+			return m.payload, nil
+		}
+		r.state = prRecvWait
+		r.park()
+	}
+}

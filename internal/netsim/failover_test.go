@@ -233,3 +233,57 @@ func TestPlaneCounterSetOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestFailedAttemptHoldsPartialCircuit pins the wormhole teardown
+// discipline on the failover path: an attempt that times out at setup
+// does not vanish — its partially opened circuit (here the source
+// uplink wire on plane A) stays claimed until the ack-timeout teardown,
+// so a second message from the same source contends with the wreckage
+// of the first. Before this hold, failed attempts released their claims
+// retroactively and the follow-up send was impossibly unobstructed.
+func TestFailedAttemptHoldsPartialCircuit(t *testing.T) {
+	cfg := DefaultFailover()
+
+	// Reference: node 0 -> 2 on a network whose only defect is the stuck
+	// output feeding node 1. Output 2 is clean, so the send is fast.
+	ref := New(topo.Cluster8())
+	ref.Crossbar(0).StickOutput(1, 0, 1*sim.Second)
+	d0, err := ref.SendReliable(0, 0, 2, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Retried || d0.Plane != topo.NetworkA {
+		t.Fatalf("reference delivery = %+v, want clean plane-A success", d0)
+	}
+	if d0.Done >= cfg.AckTimeout {
+		t.Fatalf("reference Done = %v, expected well under the ack timeout %v", d0.Done, cfg.AckTimeout)
+	}
+
+	// Same machine, but node 0 first sends toward the stuck output: that
+	// attempt claims the node-0 uplink wire, times out at setup, and
+	// holds the partial circuit until its teardown at entry+AckTimeout.
+	n := New(topo.Cluster8())
+	n.Crossbar(0).StickOutput(1, 0, 1*sim.Second)
+	d1, err := n.SendReliable(0, 0, 1, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Failed || !d1.Retried || d1.Plane != topo.NetworkB {
+		t.Fatalf("first delivery = %+v, want retried plane-B success", d1)
+	}
+	d2, err := n.SendReliable(0, 0, 2, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Retried || d2.Plane != topo.NetworkA {
+		t.Errorf("second delivery = %+v, want delayed plane-A success", d2)
+	}
+	// The second send enters at t=0 too, so the held uplink pins its
+	// first byte behind the failed attempt's teardown.
+	if d2.Done < cfg.AckTimeout {
+		t.Errorf("second Done = %v, want at least the first attempt's teardown %v", d2.Done, cfg.AckTimeout)
+	}
+	if d2.Done <= d0.Done {
+		t.Errorf("held circuit added no delay: %v vs unobstructed %v", d2.Done, d0.Done)
+	}
+}

@@ -203,18 +203,25 @@ func (n *Network) CorruptWire(dev, port int, from, until sim.Time) {
 // resource is claimed from its setup until the message has fully passed.
 // Sends are processed one at a time, so the peeked times stay valid.
 func (n *Network) Send(at sim.Time, path topo.Path, payloadBytes int) (Transit, error) {
-	return n.send(at, path, payloadBytes, 0)
+	return n.send(at, path, payloadBytes, 0, 0)
 }
 
 // send is Send with fault awareness: a positive setupTimeout bounds the
 // wait at any single busy resource (wire entry or crossbar output) before
 // the attempt is abandoned with a DownError, and severed wires on the
-// path abort the attempt outright. Failed attempts claim no resources —
-// the partial circuit the real header would briefly hold until teardown
-// is not modelled (DESIGN.md, failover timing).
+// path abort the attempt outright.
+//
+// A positive failHold models the teardown of a failed attempt: the
+// partial circuit the header built stays claimed until at+failHold (the
+// sender's ack-timeout detection, when the driver gives up and the
+// switches reclaim the channels). Resources the header would only have
+// reached after that teardown are not claimed — the header never got
+// there. A zero failHold keeps the old behaviour: failed attempts claim
+// nothing (the raw Send API and the OS stream, which retries on its own
+// cadence).
 //
 //pmlint:hotpath
-func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeout sim.Time) (Transit, error) {
+func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeout, failHold sim.Time) (Transit, error) {
 	if payloadBytes < 0 {
 		return Transit{}, fmt.Errorf("netsim: negative payload")
 	}
@@ -228,18 +235,8 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 	byteTime := n.linkCfg.TransferTime(1)
 	bodyTime := n.linkCfg.TransferTime(wireBytes - len(path.RouteBytes))
 
-	type wireClaim struct {
-		w     *link.Wire
-		start sim.Time
-		bytes int
-	}
-	type hopClaim struct {
-		x                *xbar.Crossbar
-		out              int
-		requested, start sim.Time
-	}
-	wireClaims := make([]wireClaim, 0, len(path.Hops)+1)
-	hopClaims := make([]hopClaim, 0, len(path.Hops))
+	wireClaims := make([]sendWireClaim, 0, len(path.Hops)+1)
+	hopClaims := make([]sendHopClaim, 0, len(path.Hops))
 
 	// Pass 1: header walk, peeking at free times.
 	head := at
@@ -249,6 +246,7 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 		w := n.wire(fromDev, fromPort, 0)
 		wStart := sim.Max(head, w.FreeAt())
 		if w.DeadAt(wStart) {
+			n.teardownPartial(wireClaims, hopClaims, at, failHold)
 			return Transit{}, &DownError{Plane: path.Network, Cut: true, At: wStart}
 		}
 		// The setup timeout does not cover the first wire: a wait there is
@@ -257,9 +255,10 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 		// instead of declaring the plane dead. A severed uplink is still
 		// caught by DeadAt above, a wedged NI by ReadyAt's stall windows.
 		if setupTimeout > 0 && len(wireClaims) > 0 && wStart-head > setupTimeout {
+			n.teardownPartial(wireClaims, hopClaims, at, failHold)
 			return Transit{}, &DownError{Plane: path.Network, At: head + setupTimeout}
 		}
-		wireClaims = append(wireClaims, wireClaim{w: w, start: wStart, bytes: remaining})
+		wireClaims = append(wireClaims, sendWireClaim{w: w, start: wStart, bytes: remaining})
 		lat := n.linkCfg.PropagationDelay + byteTime
 		if hop.AsyncIn {
 			lat += n.trans.Latency
@@ -268,9 +267,10 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 		x := n.xbars[hop.Xbar]
 		setupStart := sim.Max(headArrive, x.OutputFreeAt(hop.Out))
 		if setupTimeout > 0 && setupStart-headArrive > setupTimeout {
+			n.teardownPartial(wireClaims, hopClaims, at, failHold)
 			return Transit{}, &DownError{Plane: path.Network, At: headArrive + setupTimeout}
 		}
-		hopClaims = append(hopClaims, hopClaim{x: x, out: hop.Out, requested: headArrive, start: setupStart})
+		hopClaims = append(hopClaims, sendHopClaim{x: x, out: hop.Out, requested: headArrive, start: setupStart})
 		head = setupStart + xbar.RouteSetup
 		fromDev, fromPort = n.topo.Nodes()+hop.Xbar, hop.Out
 		remaining-- // the crossbar consumed one route byte
@@ -278,12 +278,14 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 	lastWire := n.wire(fromDev, fromPort, 0)
 	lwStart := sim.Max(head, lastWire.FreeAt())
 	if lastWire.DeadAt(lwStart) {
+		n.teardownPartial(wireClaims, hopClaims, at, failHold)
 		return Transit{}, &DownError{Plane: path.Network, Cut: true, At: lwStart}
 	}
 	if setupTimeout > 0 && lwStart-head > setupTimeout {
+		n.teardownPartial(wireClaims, hopClaims, at, failHold)
 		return Transit{}, &DownError{Plane: path.Network, At: head + setupTimeout}
 	}
-	wireClaims = append(wireClaims, wireClaim{w: lastWire, start: lwStart, bytes: remaining})
+	wireClaims = append(wireClaims, sendWireClaim{w: lastWire, start: lwStart, bytes: remaining})
 	first := lwStart + n.linkCfg.PropagationDelay + byteTime
 	last := first + bodyTime
 
@@ -321,6 +323,43 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 		}
 	}
 	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes, Corrupted: corrupted}, nil
+}
+
+// sendWireClaim and sendHopClaim are the peeked pass-1 reservations of
+// one send attempt, applied in pass 2 (or held to a failed attempt's
+// teardown).
+type sendWireClaim struct {
+	w     *link.Wire
+	start sim.Time
+	bytes int
+}
+
+type sendHopClaim struct {
+	x                *xbar.Crossbar
+	out              int
+	requested, start sim.Time
+}
+
+// teardownPartial claims a failed attempt's partial circuit until the
+// teardown at entry+failHold — the sender's detection time, when the
+// driver gives up and the switches reclaim the channels. Resources the
+// header would only have reached after the teardown are skipped; a zero
+// failHold claims nothing (the unguarded Send path).
+func (n *Network) teardownPartial(wires []sendWireClaim, hops []sendHopClaim, entry, failHold sim.Time) {
+	if failHold <= 0 {
+		return
+	}
+	until := entry + failHold
+	for _, c := range wires {
+		if c.start < until {
+			c.w.Hold(c.start, until, c.bytes)
+		}
+	}
+	for _, c := range hops {
+		if c.start < until {
+			c.x.HoldOutput(c.requested, c.start, until, c.out)
+		}
+	}
 }
 
 // Reset clears all crossbar and wire timelines, NI state, per-plane

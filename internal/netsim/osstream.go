@@ -228,7 +228,7 @@ func (n *Network) advanceOS(now sim.Time) {
 			continue
 		}
 		n.osSending = true
-		_, err = n.send(at, path, bytes, 0)
+		_, err = n.send(at, path, bytes, 0, 0)
 		n.osSending = false
 		if err != nil {
 			n.traceOSDrop(at)

@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"powermanna/internal/metrics"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+	"powermanna/internal/trace"
+)
+
+// system256Shards are the shard counts that align with System256's
+// 16 leaf groups of 8 nodes.
+var system256Shards = []int{1, 2, 4, 8, 16}
+
+// partSend runs one message through a fresh partitioned System256 and
+// returns its Delivery. fault applies wire faults to both the
+// partitioned and the legacy network identically.
+func partSend(t *testing.T, shards int, serial bool, src, dst, bytes int, fault func(*Network)) Delivery {
+	t.Helper()
+	pn, err := NewPartitioned(topo.System256(), shards, DefaultFailover())
+	if err != nil {
+		t.Fatalf("NewPartitioned(%d): %v", shards, err)
+	}
+	pn.SetSerial(serial)
+	if fault != nil {
+		fault(pn.Network())
+	}
+	var got Delivery
+	done := false
+	sh := pn.Shard(pn.ShardOf(src))
+	sh.At(0, func() {
+		if err := pn.SendAsync(src, dst, bytes, nil, 0, func(d Delivery) { got = d; done = true }); err != nil {
+			t.Errorf("SendAsync: %v", err)
+		}
+	})
+	pn.Run()
+	if !done {
+		t.Fatalf("shards=%d serial=%v: send %d->%d never completed", shards, serial, src, dst)
+	}
+	return got
+}
+
+// legacySend runs the same message through the synchronous path.
+func legacySend(t *testing.T, src, dst, bytes int, fault func(*Network)) Delivery {
+	t.Helper()
+	n := New(topo.System256())
+	if fault != nil {
+		fault(n)
+	}
+	d, err := n.MustTransport(src, DefaultFailover()).Send(0, dst, bytes)
+	if err != nil {
+		t.Fatalf("legacy send %d->%d: %v", src, dst, err)
+	}
+	return d
+}
+
+// TestPartitionedSendMatchesLegacy pins the partitioned split-phase
+// send to the synchronous protocol, message by message: with no
+// contention the two paths must produce identical Delivery records —
+// same transit times, same plane, same attempt and failover accounting
+// — for intra-group, cross-group and faulted routes, at every aligned
+// shard count and under both dispatch modes.
+func TestPartitionedSendMatchesLegacy(t *testing.T) {
+	cutUplink := func(n *Network) {
+		// Sever the source's plane-A uplink just after the header passes
+		// its entry check: failover to plane B after one ack timeout.
+		n.CutWire(0, topo.NetworkA, 100*sim.Nanosecond)
+	}
+	cutFarSide := func(n *Network) {
+		// Sever the destination-side leaf-to-node wire of 0->13 plane A
+		// before the run: the walk fails on the destination half.
+		path, err := n.Topology().Route(0, 13, topo.NetworkA)
+		if err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		last := path.Hops[len(path.Hops)-1]
+		n.CutWire(n.Topology().Nodes()+last.Xbar, last.Out, 0)
+	}
+	corruptFarSide := func(n *Network) {
+		path, err := n.Topology().Route(0, 13, topo.NetworkA)
+		if err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		last := path.Hops[len(path.Hops)-1]
+		n.CorruptWire(n.Topology().Nodes()+last.Xbar, last.Out, 0, 20*sim.Microsecond)
+	}
+	cases := []struct {
+		name     string
+		src, dst int
+		bytes    int
+		fault    func(*Network)
+	}{
+		{"intra-group", 0, 5, 256, nil},
+		{"cross-group", 0, 13, 256, nil},
+		{"far-cross-shard", 3, 120, 4096, nil},
+		{"uplink-cut-failover", 0, 13, 256, cutUplink},
+		{"dst-cut-failover", 0, 13, 256, cutFarSide},
+		{"dst-crc-retry", 0, 13, 256, corruptFarSide},
+	}
+	for _, tc := range cases {
+		want := legacySend(t, tc.src, tc.dst, tc.bytes, tc.fault)
+		for _, shards := range system256Shards {
+			for _, serial := range []bool{false, true} {
+				got := partSend(t, shards, serial, tc.src, tc.dst, tc.bytes, tc.fault)
+				if got != want {
+					t.Errorf("%s shards=%d serial=%v:\n got %+v\nwant %+v",
+						tc.name, shards, serial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// partBurst is a contended workload: every node sends a first wave to a
+// fixed permutation target at t=0 and a second wave back to its group
+// neighbourhood at 2 µs — enough same-time cross-group traffic to
+// exercise canonical drains, open holds and parked walkers.
+func partBurst(t *testing.T, shards int, serial bool) (deliveries []Delivery, arrivals []sim.Time, planes [2]PlaneCounters, mets string, events []trace.Event) {
+	t.Helper()
+	top := topo.System256()
+	pn, err := NewPartitioned(top, shards, DefaultFailover())
+	if err != nil {
+		t.Fatalf("NewPartitioned(%d): %v", shards, err)
+	}
+	pn.SetSerial(serial)
+	reg := metrics.NewRegistry()
+	pn.SetMetrics(reg)
+	rec := trace.NewRecorder()
+	pn.SetRecorder(rec)
+	// A couple of wire faults so failover and CRC paths run contended.
+	pn.Network().CutWire(9, topo.NetworkA, 500*sim.Nanosecond)
+	pn.Network().CorruptWire(40, topo.NetworkA, 0, 10*sim.Microsecond)
+
+	nodes := top.Nodes()
+	deliveries = make([]Delivery, 2*nodes)
+	arrivals = make([]sim.Time, nodes)
+	pn.OnDeliver(func(src, dst int, payload any, first, last sim.Time) {
+		if last > arrivals[dst] {
+			arrivals[dst] = last
+		}
+	})
+	for n := 0; n < nodes; n++ {
+		n := n
+		dst1 := (n*37 + 13) % nodes
+		if dst1 == n {
+			dst1 = (dst1 + 1) % nodes
+		}
+		dst2 := (n + 9) % nodes
+		sh := pn.Shard(pn.ShardOf(n))
+		sh.At(0, func() {
+			if err := pn.SendAsync(n, dst1, 512, nil, 0, func(d Delivery) { deliveries[n] = d }); err != nil {
+				t.Errorf("SendAsync: %v", err)
+			}
+		})
+		sh.At(2*sim.Microsecond, func() {
+			if err := pn.SendAsync(n, dst2, 128, nil, 2*sim.Microsecond, func(d Delivery) { deliveries[nodes+n] = d }); err != nil {
+				t.Errorf("SendAsync: %v", err)
+			}
+		})
+	}
+	pn.Run()
+	return deliveries, arrivals, [2]PlaneCounters{pn.Plane(0), pn.Plane(1)}, reg.Render(), rec.Events()
+}
+
+// TestPartitionedBurstDeterministicAcrossShards pins the load-bearing
+// invariant of the partitioned datapath: the event program is a pure
+// function of the model, so every aligned shard count — and serial vs
+// parallel dispatch — produces identical deliveries, arrival times,
+// plane counters, metrics and merged traces for the same contended
+// workload.
+func TestPartitionedBurstDeterministicAcrossShards(t *testing.T) {
+	refD, refA, refP, refM, refE := partBurst(t, 1, false)
+	for _, d := range refD {
+		if d.Done == 0 && !d.Failed {
+			t.Fatalf("burst left an unfinished send: %+v", d)
+		}
+	}
+	if refP[0].Delivered+refP[1].Delivered == 0 {
+		t.Fatalf("burst delivered nothing")
+	}
+	if refP[1].FailedOver == 0 && refP[0].FailedOver == 0 {
+		t.Fatalf("burst faults caused no failovers")
+	}
+	for _, shards := range system256Shards {
+		for _, serial := range []bool{false, true} {
+			if shards == 1 && !serial {
+				continue
+			}
+			name := fmt.Sprintf("shards=%d serial=%v", shards, serial)
+			d, a, p, m, e := partBurst(t, shards, serial)
+			for i := range refD {
+				if d[i] != refD[i] {
+					t.Fatalf("%s: delivery %d diverged:\n got %+v\nwant %+v", name, i, d[i], refD[i])
+				}
+			}
+			for i := range refA {
+				if a[i] != refA[i] {
+					t.Errorf("%s: arrival at node %d diverged: got %v want %v", name, i, a[i], refA[i])
+				}
+			}
+			if p != refP {
+				t.Errorf("%s: plane counters diverged:\n got %+v\nwant %+v", name, p, refP)
+			}
+			if m != refM {
+				t.Errorf("%s: metrics diverged", name)
+			}
+			if len(e) != len(refE) {
+				t.Fatalf("%s: trace length diverged: got %d want %d", name, len(e), len(refE))
+			}
+			for i := range e {
+				if e[i] != refE[i] {
+					t.Fatalf("%s: trace event %d diverged:\n got %+v\nwant %+v", name, i, e[i], refE[i])
+				}
+			}
+		}
+	}
+}

@@ -339,7 +339,7 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		st.elapsed += cfg.SetupTimeout + cfg.RetryBackoff
 		return Delivery{}, false, nil
 	}
-	tr, err := n.send(entry, path, payloadBytes, cfg.SetupTimeout)
+	tr, err := n.send(entry, path, payloadBytes, cfg.SetupTimeout, cfg.AckTimeout)
 	if err != nil {
 		var down *DownError
 		if !errorsAs(err, &down) {

@@ -252,12 +252,27 @@ func (s *Shard) runWindow(end sim.Time) {
 // here: every shard is a drop-in sequential scheduler.
 var _ sim.Engine = (*Shard)(nil)
 
-// post is one cross-shard event waiting in a mailbox. Its order field
-// is the per-(src,dst) posting sequence; together with the source
-// shard index it extends the (time, seq) tie-break across shards.
+// post is one cross-shard event waiting in a mailbox: either a plain
+// callback (fn) or a data payload bound for a destination-owned
+// Handler. Mailbox order within a (src, dst) pair extends the
+// (time, seq) tie-break across shards.
 type post struct {
-	at sim.Time
-	fn func()
+	at      sim.Time
+	fn      func()
+	h       Handler
+	payload any
+}
+
+// Handler consumes cross-shard payloads on the destination shard: the
+// data-not-closures discipline for models whose cross-shard messages
+// carry state (the split-phase send continuations of internal/netsim).
+// A Handler is owned by the destination shard; the payload it receives
+// crossed the mailbox as plain data, so the static shard-safety audit
+// (pmlint sharedstate) sees no source-shard captures travelling with
+// it. OnPost runs on the destination shard's worker with the shard
+// clock at the posted time.
+type Handler interface {
+	OnPost(s *Shard, payload any)
 }
 
 // Engine coordinates shards through conservative barrier rounds. One
@@ -270,6 +285,14 @@ type post struct {
 type Engine struct {
 	shards    []*Shard
 	lookahead sim.Time
+	// serial dispatches every round on the calling goroutine, shard 0
+	// first — the --engine seq execution of a partitioned model. The
+	// event program (window ends, mailbox merges, sequence numbers) is
+	// identical to the parallel dispatch, so serial and parallel runs of
+	// a shard-confined model produce byte-identical histories; serial is
+	// also safe to drive from inside another engine's event (nested
+	// engines), where spawning workers would not be.
+	serial bool
 	// horizon is the current round's window end (sim.MaxTime when the
 	// window is unbounded); Post enforces the conservative contract
 	// against it.
@@ -301,6 +324,17 @@ func NewEngine(n int, lookahead sim.Time) *Engine {
 	return e
 }
 
+// SetSerial switches the engine between parallel dispatch (one worker
+// goroutine per shard per round, the default) and serial dispatch
+// (every shard's window run on the calling goroutine, shard order).
+// Both produce the same history; serial is the sequential execution of
+// a partitioned model and the only safe mode inside another engine's
+// event.
+func (e *Engine) SetSerial(on bool) { e.serial = on }
+
+// Lookahead reports the engine's conservative window width.
+func (e *Engine) Lookahead() sim.Time { return e.lookahead }
+
 // Shards reports the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
@@ -330,6 +364,20 @@ func (e *Engine) Post(src, dst int, t sim.Time, fn func()) {
 	}
 	box := &e.mail[src*len(e.shards)+dst]
 	*box = append(*box, post{at: t, fn: fn})
+}
+
+// PostPayload schedules payload for delivery to the destination-owned
+// handler h on shard dst at absolute time t — the data-not-closures
+// variant of Post for cross-shard messages that carry model state. The
+// same conservative contract applies: t at or beyond the window end.
+//
+//pmlint:hotpath
+func (e *Engine) PostPayload(src, dst int, t sim.Time, h Handler, payload any) {
+	if t < e.horizon {
+		panic(fmt.Sprintf("psim: shard %d posting payload to shard %d at %v inside the window ending %v: model latency below the configured lookahead", src, dst, t, e.horizon)) //pmlint:allow hotpath cold panic guard for a lookahead violation, never taken per event
+	}
+	box := &e.mail[src*len(e.shards)+dst]
+	*box = append(*box, post{at: t, h: h, payload: payload})
 }
 
 // nextEventTime reports the earliest pending event across shards.
@@ -376,8 +424,10 @@ func (e *Engine) Run() {
 // goroutine — no goroutines, so the sequential configuration of a
 // parallel tool run stays literally sequential.
 func (e *Engine) round(end sim.Time) {
-	if len(e.shards) == 1 {
-		e.shards[0].runWindow(end)
+	if len(e.shards) == 1 || e.serial {
+		for _, s := range e.shards {
+			s.runWindow(end)
+		}
 		return
 	}
 	var wg sync.WaitGroup
@@ -409,10 +459,16 @@ func (e *Engine) deliver() {
 	}
 	for dst := 0; dst < n; dst++ {
 		var merged []delivery
+		s := e.shards[dst]
 		for src := 0; src < n; src++ {
 			box := &e.mail[src*n+dst]
 			for _, p := range *box {
-				merged = append(merged, delivery{at: p.at, src: src, fn: p.fn})
+				fn := p.fn
+				if fn == nil {
+					h, payload := p.h, p.payload
+					fn = func() { h.OnPost(s, payload) }
+				}
+				merged = append(merged, delivery{at: p.at, src: src, fn: fn})
 			}
 			*box = (*box)[:0]
 		}
@@ -427,7 +483,6 @@ func (e *Engine) deliver() {
 			}
 			return merged[i].src < merged[j].src
 		})
-		s := e.shards[dst]
 		for _, p := range merged {
 			s.seq++
 			s.queue.push(event{at: p.at, seq: s.seq, fn: p.fn})

@@ -8,12 +8,15 @@
 package psim_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"powermanna/internal/earth"
 	"powermanna/internal/fault"
+	"powermanna/internal/heat"
 	"powermanna/internal/metrics"
+	"powermanna/internal/mpl"
 	"powermanna/internal/netsim"
 	"powermanna/internal/psim"
 	"powermanna/internal/sim"
@@ -188,4 +191,103 @@ func TestEarthOnShardMatchesScheduler(t *testing.T) {
 		t.Fatalf("fib on shard: got %d in %v, scheduler got %d in %v", pg, pm, sg, sm)
 	}
 	requireIdentical(t, "fib timeline", st, pt)
+}
+
+// partArtifacts runs one partitioned SPMD workload over a PWorld with
+// the given shard count and returns everything observable: a summary
+// line (makespan, message and byte counts) and the metrics dump. The
+// seed parameterizes the workload shape — payload sizes and round
+// counts — so the sweep moves contention and failover timing around.
+func partArtifacts(t *testing.T, shards int, seed int64, body func(w *mpl.PWorld, seed int64) error) (summary, mets string) {
+	t.Helper()
+	w, err := mpl.NewPWorld(topo.System256(), shards)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	reg := metrics.NewRegistry()
+	w.SetMetrics(reg)
+	if err := body(w, seed); err != nil {
+		t.Fatalf("shards=%d seed=%d: %v", shards, seed, err)
+	}
+	msgs, bytes := w.Stats()
+	return fmt.Sprintf("makespan=%v msgs=%d bytes=%d", w.MaxTime(), msgs, bytes), reg.Render()
+}
+
+// TestPartitionedWorkloadEquivalence is the single-workload face of the
+// equivalence contract: one application, partitioned across psim shards
+// through the cross-shard mailboxes, must produce byte-identical
+// summaries and metrics dumps at every aligned shard count. This is the
+// property the ci.sh --engine par --shards 4 golden gate rests on,
+// swept here across three workload shapes and three seeds.
+func TestPartitionedWorkloadEquivalence(t *testing.T) {
+	pingpong := func(w *mpl.PWorld, seed int64) error {
+		// Pair rank r with r+p/2 so every exchange crosses the central
+		// stage — and every shard boundary at any aligned shard count.
+		return w.Run(func(r *mpl.PRank) error {
+			p := r.Ranks()
+			peer := (r.Rank() + p/2) % p
+			payload := make([]byte, 32*seed+int64(r.Rank()%7)*16)
+			for round := 0; round < 4+int(seed); round++ {
+				if r.Rank() < p/2 {
+					if err := r.Send(peer, round, payload); err != nil {
+						return err
+					}
+					if _, err := r.Recv(peer, round); err != nil {
+						return err
+					}
+				} else {
+					if _, err := r.Recv(peer, round); err != nil {
+						return err
+					}
+					if err := r.Send(peer, round, payload); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+	heatBody := func(w *mpl.PWorld, seed int64) error {
+		cfg := heat.DefaultConfig((6+2*int(seed))*w.Ranks(), 8)
+		cfg.ReduceEvery = 4
+		_, err := heat.RunPart(w, cfg)
+		return err
+	}
+	allreduce := func(w *mpl.PWorld, seed int64) error {
+		p := w.Ranks()
+		wantA := float64(p) * float64(p+1) / 2
+		return w.Run(func(r *mpl.PRank) error {
+			for round := 0; round < 3+int(seed); round++ {
+				got, err := r.AllReduce([]float64{float64(r.Rank() + 1)}, round)
+				if err != nil {
+					return err
+				}
+				if len(got) != 1 || got[0] != wantA {
+					return fmt.Errorf("round %d sum = %v, want %v", round, got, wantA)
+				}
+			}
+			return nil
+		})
+	}
+	workloads := []struct {
+		name string
+		body func(w *mpl.PWorld, seed int64) error
+	}{
+		{"pingpong", pingpong},
+		{"heat", heatBody},
+		{"allreduce", allreduce},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				refSummary, refMets := partArtifacts(t, 1, seed, wl.body)
+				for _, shards := range []int{2, 4, 8} {
+					summary, mets := partArtifacts(t, shards, seed, wl.body)
+					requireIdentical(t, fmt.Sprintf("%s seed %d shards %d summary", wl.name, seed, shards), refSummary, summary)
+					requireIdentical(t, fmt.Sprintf("%s seed %d shards %d metrics", wl.name, seed, shards), refMets, mets)
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,51 @@
+// Canonical recorder merging for partitioned runs. A node-partitioned
+// simulation (internal/netsim over internal/psim) records each shard's
+// events into its own recorder — appending to one recorder from
+// concurrent shard workers would race and would order events by
+// goroutine timing. Merge fans the per-shard timelines back into one
+// recorder under a total order that is a pure function of the events
+// themselves, so a sequential run and any sharded run of the same model
+// produce byte-identical merged timelines.
+package trace
+
+import "sort"
+
+// Merge appends every event of the source recorders into dst in the
+// canonical order: ascending (Start, End, Track, Kind, Cat, Name, Arg).
+// The key covers every event field, so any two distinct events order
+// deterministically and identical duplicates are interchangeable. Nil
+// recorders (tracing off) contribute nothing; a nil dst no-ops.
+func Merge(dst *Recorder, srcs ...*Recorder) {
+	if dst == nil {
+		return
+	}
+	var all []Event
+	for _, s := range srcs {
+		if s == nil {
+			continue
+		}
+		all = append(all, s.events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return eventLess(all[i], all[j]) })
+	dst.events = append(dst.events, all...)
+}
+
+// eventLess is the canonical total order over events.
+func eventLess(a, b Event) bool {
+	switch {
+	case a.Start != b.Start:
+		return a.Start < b.Start
+	case a.End != b.End:
+		return a.End < b.End
+	case a.Track != b.Track:
+		return a.Track < b.Track
+	case a.Kind != b.Kind:
+		return a.Kind < b.Kind
+	case a.Cat != b.Cat:
+		return a.Cat < b.Cat
+	case a.Name != b.Name:
+		return a.Name < b.Name
+	default:
+		return a.Arg < b.Arg
+	}
+}

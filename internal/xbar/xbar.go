@@ -186,6 +186,25 @@ func (x *Crossbar) HoldOutput(requested, start, until sim.Time, out int) {
 	x.traceHold(requested, start, until, out)
 }
 
+// ClaimOutput acquires output channel out for [start, until) without
+// touching the crossbar's shared counters, trace recorder or metrics
+// instruments. It exists for the node-partitioned send path
+// (internal/netsim), where one crossbar's output channels can belong to
+// different psim shards: the per-output occupancy timeline is owned by
+// the output's shard and safe to claim here, while arbitration
+// accounting and spans land in the claiming shard's own instruments.
+//
+//pmlint:hotpath
+func (x *Crossbar) ClaimOutput(start, until sim.Time, out int) {
+	if out < 0 || out >= Ports {
+		panic(fmt.Sprintf("xbar %s: output %d out of range", x.name, out)) //pmlint:allow hotpath cold panic guard for a routing bug, never taken per message
+	}
+	if until < start {
+		panic(fmt.Sprintf("xbar %s: hold window [%v, %v) inverted", x.name, start, until)) //pmlint:allow hotpath cold panic guard for a model bug, never taken per message
+	}
+	x.outputs[out].Acquire(start, until-start)
+}
+
 // StickOutput injects a stuck-busy fault: output channel out is forced
 // busy for the window [from, until), as if a failed arbiter never released
 // the crosspoint. Circuits requesting the channel inside the window wait
