@@ -129,6 +129,24 @@ if ! cmp -s testdata/pmfault_heat-linkcut_system256_seed1.golden "$bindir/pmfaul
     exit 1
 fi
 
+echo "== multi-tenant traffic equivalence =="
+# The open-loop traffic engine's contract: the System256 SLO sweep —
+# four tenants of seeded arrival-process load under plane-A link and
+# central-stage cuts — must reproduce the golden byte for byte on the
+# sequential engine AND partitioned across 4 psim shards.
+"$bindir/pmfault" --traffic --topo system256 --seed 1 > "$bindir/pmfault.out"
+if ! cmp -s testdata/pmfault_traffic_system256_seed1.golden "$bindir/pmfault.out"; then
+    echo "pmfault --traffic output diverged from testdata/pmfault_traffic_system256_seed1.golden:" >&2
+    diff testdata/pmfault_traffic_system256_seed1.golden "$bindir/pmfault.out" >&2 || true
+    exit 1
+fi
+"$bindir/pmfault" --traffic --topo system256 --seed 1 --engine par --shards 4 > "$bindir/pmfault.out"
+if ! cmp -s testdata/pmfault_traffic_system256_seed1.golden "$bindir/pmfault.out"; then
+    echo "pmfault --traffic --engine par --shards 4 diverged from testdata/pmfault_traffic_system256_seed1.golden:" >&2
+    diff testdata/pmfault_traffic_system256_seed1.golden "$bindir/pmfault.out" >&2 || true
+    exit 1
+fi
+
 echo "== pmtrace smoke exports =="
 # A comm workload and a fault campaign, traced with a fixed seed; the
 # Chrome trace_event exports must match the goldens byte for byte (the

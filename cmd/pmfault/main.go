@@ -20,7 +20,15 @@
 //	pmfault --campaign mixed --topo system256 --messages 800
 //	pmfault --campaign link-cut --metrics
 //	pmfault --campaign link-cut --engine par
+//	pmfault --traffic --topo system256 --engine par --shards 4
 //	pmfault --list
+//
+// --traffic swaps the campaign for the open-loop multi-tenant traffic
+// sweep (internal/traffic): the named mix (--mix, default "default")
+// offers seeded arrival-process load from every node while plane-A
+// links die, and the table reports each tenant's delivered-latency
+// p50/p99/p999 against its SLO per fault count. --window-us, when set,
+// becomes the offered-load horizon.
 //
 // --metrics appends the highest-rate row's deterministic metrics dump
 // (internal/metrics): send outcome counters, latency and detection
@@ -47,6 +55,7 @@ import (
 	"powermanna/internal/psim"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
+	"powermanna/internal/traffic"
 )
 
 // printMetrics appends the registry dump to the campaign output;
@@ -69,6 +78,8 @@ func main() {
 		metricsFlag  = flag.Bool("metrics", false, "append the highest-rate row's metrics dump (latency/detection histograms, send outcomes, arb waits)")
 		engineFlag   = flag.String("engine", "seq", "event engine: seq (sequential) or par (one psim shard per degradation row; byte-identical output)")
 		shardsFlag   = flag.Int("shards", 0, "psim shard count for partitioned app workloads under --engine par (0 = 1; must align with the topology's leaf groups)")
+		trafficFlag  = flag.Bool("traffic", false, "run the open-loop multi-tenant traffic sweep instead of a campaign (per-tenant SLO percentiles per fault count)")
+		mixFlag      = flag.String("mix", "default", "tenant mix for --traffic (see pmtraffic --list)")
 		listOnly     = flag.Bool("list", false, "list campaign names and exit")
 	)
 	flag.Parse()
@@ -122,6 +133,30 @@ func main() {
 	if *metricsFlag {
 		reg = metrics.NewRegistry()
 		opt.Metrics = reg
+	}
+
+	if *trafficFlag {
+		mix, err := traffic.MixByName(*mixFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmfault: %v\n", err)
+			os.Exit(1)
+		}
+		// --window-us, when explicitly set, is the offered-load horizon;
+		// otherwise the traffic engine's default applies.
+		var horizon sim.Time
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "window-us" {
+				horizon = opt.Window
+			}
+		})
+		res, err := fault.RunTraffic(mix, horizon, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmfault: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		printMetrics(reg)
+		return
 	}
 
 	if c, ok := fault.CampaignByName(*campaignFlag); ok {

@@ -224,10 +224,11 @@ type message struct {
 	src, dst int
 }
 
-// traffic spreads opt.Messages across the window with seeded jitter,
+// genTraffic spreads opt.Messages across the window with seeded jitter,
 // random distinct endpoints, ascending in time. The stream depends only
-// on the rng, so every degradation row sees identical traffic.
-func traffic(t *topo.Topology, opt Options, rng *rand.Rand) []message {
+// on the rng, so every degradation row sees identical traffic. (Named
+// to keep the identifier free for the internal/traffic import.)
+func genTraffic(t *topo.Topology, opt Options, rng *rand.Rand) []message {
 	msgs := make([]message, 0, opt.Messages)
 	spacing := opt.Window / sim.Time(opt.Messages)
 	if spacing <= 0 {
@@ -342,7 +343,7 @@ func runRate(c Campaign, opt Options, cfg netsim.FailoverConfig, rate int, obser
 		for i := range tps {
 			tps[i] = net.MustTransport(i, cfg)
 		}
-		msgs := traffic(opt.Topology, opt, rand.New(rand.NewSource(opt.Seed)))
+		msgs := genTraffic(opt.Topology, opt, rand.New(rand.NewSource(opt.Seed)))
 		events := schedule(c, opt.Topology, rate,
 			opt.Window, rand.New(rand.NewSource(opt.Seed+faultSeedStride*int64(rate))))
 		inj := NewInjector(net, events)

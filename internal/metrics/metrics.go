@@ -145,6 +145,61 @@ func (h *Histogram) Observe(v int64) {
 //pmlint:hotpath
 func (h *Histogram) ObserveTime(t sim.Time) { h.Observe(int64(t)) }
 
+// Quantile reads the value at quantile q (0 < q <= 1) off the fixed
+// buckets: the bound of the first bucket whose cumulative count reaches
+// rank ceil(q*count), sharpened by the exact extrema — no bucket bound
+// can undershoot the recorded min, and the overflow bucket (plus any
+// bound past the recorded max) reports max exactly. The result is
+// conservative within one bucket width, which is the deal fixed buckets
+// offer: O(1) state, deterministic output, bounded error set by the
+// bucket ladder. Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank = ceil(q * count), clamped to [1, count]. The product of a
+	// float in (0,1] and an integer count is deterministic IEEE-754
+	// arithmetic: same inputs, same rank, on every platform Go targets.
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.max
+		}
+		v := h.bounds[i]
+		if v > h.max {
+			v = h.max
+		}
+		if v < h.min {
+			v = h.min
+		}
+		return v
+	}
+	return h.max
+}
+
+// QuantileTime is Quantile in the simulated-time domain.
+func (h *Histogram) QuantileTime(q float64) sim.Time { return sim.Time(h.Quantile(q)) }
+
 // Count reports the observation count (0 on a nil histogram).
 func (h *Histogram) Count() int64 {
 	if h == nil {

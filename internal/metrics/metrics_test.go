@@ -155,3 +155,101 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantile checks the fixed-bucket percentile extraction: rank
+// resolution, min/max sharpening, overflow handling, and the nil/empty
+// no-op contract.
+func TestQuantile(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram Quantile != 0")
+	}
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20, 40, 80})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram Quantile != 0")
+	}
+	// 10 observations: 4 in (0,10], 3 in (10,20], 2 in (20,40], 1 overflow.
+	for _, v := range []int64{3, 5, 7, 9, 12, 15, 18, 25, 33, 500} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.1, 10},   // rank 1 -> first bucket, bound 10
+		{0.4, 10},   // rank 4 still inside the first bucket
+		{0.5, 20},   // rank 5 -> second bucket
+		{0.7, 20},   // rank 7 -> second bucket
+		{0.9, 40},   // rank 9 -> third bucket
+		{0.99, 500}, // rank 10 -> overflow bucket reports the exact max
+		{1.0, 500},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) != 3 {
+		t.Errorf("Quantile(0) = %d, want min 3", h.Quantile(0))
+	}
+	if h.Quantile(2) != 500 {
+		t.Errorf("Quantile(2) = %d, want max 500", h.Quantile(2))
+	}
+
+	// Min sharpening: a single observation above the first bound must not
+	// report a bound below itself, and a single small observation must
+	// report itself rather than its bucket's upper bound.
+	one := r.Histogram("q.one", []int64{10, 20})
+	one.Observe(4)
+	if one.Quantile(0.5) != 4 {
+		t.Errorf("single-observation Quantile = %d, want 4", one.Quantile(0.5))
+	}
+	hi := r.Histogram("q.hi", []int64{10, 20})
+	hi.Observe(15)
+	if hi.Quantile(0.01) != 15 {
+		t.Errorf("min-sharpened Quantile = %d, want 15", hi.Quantile(0.01))
+	}
+
+	// Max sharpening inside a bucket: observations 11..13 live in the
+	// (10,20] bucket; every quantile must clamp to max 13, not report 20.
+	mid := r.Histogram("q.mid", []int64{10, 20})
+	for _, v := range []int64{11, 12, 13} {
+		mid.Observe(v)
+	}
+	if mid.Quantile(0.999) != 13 {
+		t.Errorf("max-sharpened Quantile = %d, want 13", mid.Quantile(0.999))
+	}
+
+	// QuantileTime round-trips through the time domain.
+	th := r.TimeHistogram("q.time", TimeBuckets(sim.Microsecond, 2, 4))
+	th.ObserveTime(3 * sim.Microsecond)
+	if th.QuantileTime(0.99) != 3*sim.Microsecond {
+		t.Errorf("QuantileTime = %v, want 3us", th.QuantileTime(0.99))
+	}
+}
+
+// TestQuantileMergeInvariance checks quantiles agree whether
+// observations land in one registry or are merged from shards — the
+// property per-tenant SLO percentiles rely on under partitioned runs.
+func TestQuantileMergeInvariance(t *testing.T) {
+	bounds := []int64{10, 100, 1000}
+	whole := NewRegistry()
+	wh := whole.Histogram("lat", bounds)
+	shards := []*Registry{NewRegistry(), NewRegistry()}
+	for i := 0; i < 40; i++ {
+		v := int64((i*37)%1200 + 1)
+		wh.Observe(v)
+		shards[i%2].Histogram("lat", bounds).Observe(v)
+	}
+	folded := NewRegistry()
+	for _, s := range shards {
+		folded.MergeFrom(s)
+	}
+	fh := folded.Histogram("lat", bounds)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if wh.Quantile(q) != fh.Quantile(q) {
+			t.Errorf("Quantile(%v): whole %d != folded %d", q, wh.Quantile(q), fh.Quantile(q))
+		}
+	}
+}

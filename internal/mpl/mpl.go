@@ -40,11 +40,43 @@ import (
 // the network did to a message, this shows what the receiver felt.
 const MetricRecvWait = "mpl.recv.wait"
 
+// MetricRecvWaitRankPrefix prefixes the per-rank receive-wait views:
+// the same observations as MetricRecvWait, broken out one histogram per
+// rank as mpl.recv.wait.rNNN so a skewed receiver (one rank starved by
+// a faulted plane while the rest idle) is visible instead of averaged
+// away in the machine-wide histogram. Off, like every instrument, when
+// no registry is attached.
+const MetricRecvWaitRankPrefix = MetricRecvWait + ".r"
+
+// recvWaitRankName is rank r's labelled histogram name, zero-padded to
+// three digits so the name-sorted dump lists ranks numerically.
+func recvWaitRankName(rank int) string {
+	return fmt.Sprintf("%s%03d", MetricRecvWaitRankPrefix, rank)
+}
+
+// recvWaitBuckets shares the send-latency geometry (powers of two from
+// 1 µs) so the two ends of the profile read side by side.
+func recvWaitBuckets() []sim.Time {
+	return metrics.TimeBuckets(sim.Microsecond, 2, 10)
+}
+
 // mplInstruments holds the world's instruments, resolved once at
 // attach time; the zero value keeps every observation a nil-receiver
 // no-op (metrics off).
 type mplInstruments struct {
 	recvWait *metrics.Histogram
+	// rankWait holds the per-rank views, indexed by rank; empty when
+	// metrics are off.
+	rankWait []*metrics.Histogram
+}
+
+// observeRecvWait feeds one receive wait into the machine-wide
+// histogram and the receiving rank's own view.
+func (mi *mplInstruments) observeRecvWait(rank int, wait sim.Time) {
+	mi.recvWait.ObserveTime(wait)
+	if rank < len(mi.rankWait) {
+		mi.rankWait[rank].ObserveTime(wait)
+	}
 }
 
 // World is one program run: a set of ranks (one per node) over an
@@ -99,12 +131,20 @@ func NewWorldWith(t *topo.Topology, cfg netsim.FailoverConfig) *World {
 func (w *World) Network() *netsim.Network { return w.net }
 
 // SetMetrics attaches the world to a registry: the network's send-path
-// instruments plus the receive-wait view observed by Recv. Buckets
-// share the send-latency geometry (powers of two from 1 µs) so the two
-// ends of the profile read side by side.
+// instruments plus the receive-wait views observed by Recv — the
+// machine-wide histogram and one labelled view per rank. A nil registry
+// detaches everything.
 func (w *World) SetMetrics(m *metrics.Registry) {
 	w.net.SetMetrics(m)
-	w.met.recvWait = m.TimeHistogram(MetricRecvWait, metrics.TimeBuckets(sim.Microsecond, 2, 10))
+	w.met.recvWait = m.TimeHistogram(MetricRecvWait, recvWaitBuckets())
+	w.met.rankWait = nil
+	if m == nil {
+		return
+	}
+	w.met.rankWait = make([]*metrics.Histogram, w.Ranks())
+	for r := range w.met.rankWait {
+		w.met.rankWait[r] = m.TimeHistogram(recvWaitRankName(r), recvWaitBuckets())
+	}
 }
 
 // Ranks reports the number of ranks.
@@ -197,7 +237,7 @@ func (w *World) Recv(dst, src, tag int) ([]byte, error) {
 			wait = m.arrival - t
 			t = m.arrival + w.cycles(w.params.PollCycles)/2
 		}
-		w.met.recvWait.ObserveTime(wait)
+		w.met.observeRecvWait(dst, wait)
 		lines := (len(m.payload) + 63) / 64
 		if lines < 1 {
 			lines = 1

@@ -3,8 +3,10 @@ package mpl
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
 )
@@ -330,5 +332,64 @@ func TestSendTracingOffAddsNoAllocs(t *testing.T) {
 	})
 	if allocs > 10 {
 		t.Errorf("Send/Recv with tracing off = %.1f allocs/op, want <= 10 (pre-trace baseline + teardown hold)", allocs)
+	}
+}
+
+// TestPerRankRecvWaitViews checks the per-rank receive-wait breakout:
+// every Recv lands in both the machine-wide histogram and the receiving
+// rank's own view, the per-rank counts sum to the machine-wide count,
+// non-receiving ranks stay empty, and a nil registry keeps everything
+// off.
+func TestPerRankRecvWaitViews(t *testing.T) {
+	w := NewWorld(topo.Cluster8())
+	reg := metrics.NewRegistry()
+	w.SetMetrics(reg)
+	if err := w.Send(0, 1, 0, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Recv(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Send(2, 3, 0, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Recv(3, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	whole := reg.TimeHistogram(MetricRecvWait, recvWaitBuckets())
+	if whole.Count() != 2 {
+		t.Fatalf("machine-wide recv.wait count = %d, want 2", whole.Count())
+	}
+	var sum int64
+	for r := 0; r < w.Ranks(); r++ {
+		h := reg.TimeHistogram(recvWaitRankName(r), recvWaitBuckets())
+		sum += h.Count()
+		want := int64(0)
+		if r == 1 || r == 3 {
+			want = 1
+		}
+		if h.Count() != want {
+			t.Errorf("rank %d recv.wait count = %d, want %d", r, h.Count(), want)
+		}
+	}
+	if sum != whole.Count() {
+		t.Errorf("per-rank counts sum to %d, machine-wide %d", sum, whole.Count())
+	}
+	if !strings.Contains(reg.Render(), "mpl.recv.wait.r001") {
+		t.Error("dump missing the per-rank view name")
+	}
+
+	// Metrics off: a fresh world with no registry observes nothing and
+	// allocates no per-rank views.
+	w2 := NewWorld(topo.Cluster8())
+	w2.SetMetrics(nil)
+	if len(w2.met.rankWait) != 0 {
+		t.Error("nil registry still allocated per-rank views")
+	}
+	if err := w2.Send(0, 1, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Recv(1, 0, 0); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -104,8 +104,11 @@ type PRank struct {
 	yield  chan struct{}
 	done   bool
 	err    error
-	// recvWait is the rank's shard-local view of MetricRecvWait.
+	// recvWait is the rank's shard-local view of MetricRecvWait;
+	// rankWait the rank's own labelled histogram in the same shard
+	// registry (both folded into the user's registry after the run).
 	recvWait *metrics.Histogram
+	rankWait *metrics.Histogram
 }
 
 // NewPWorld builds a partitioned world over the topology with the
@@ -166,7 +169,8 @@ func (w *PWorld) SetMetrics(m *metrics.Registry) {
 	w.pn.SetMetrics(m)
 	for _, r := range w.ranks {
 		reg := w.pn.ShardRegistry(w.pn.ShardOf(r.rank))
-		r.recvWait = reg.TimeHistogram(MetricRecvWait, metrics.TimeBuckets(sim.Microsecond, 2, 10))
+		r.recvWait = reg.TimeHistogram(MetricRecvWait, recvWaitBuckets())
+		r.rankWait = reg.TimeHistogram(recvWaitRankName(r.rank), recvWaitBuckets())
 	}
 }
 
@@ -347,6 +351,7 @@ func (r *PRank) Recv(src, tag int) ([]byte, error) {
 				t = m.arrival + w.cycles(w.params.PollCycles)/2
 			}
 			r.recvWait.ObserveTime(wait)
+			r.rankWait.ObserveTime(wait)
 			lines := (len(m.payload) + 63) / 64
 			if lines < 1 {
 				lines = 1

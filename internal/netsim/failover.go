@@ -75,6 +75,12 @@ const (
 	// planes a few times before declaring the message lost; hard
 	// evidence (a severed wire) rules a plane out immediately.
 	DefaultMaxAttempts = 6
+	// DefaultCRCRetries is the same-plane re-send budget on a CRC NACK.
+	// A NACK is proof the plane carried the frame end to end — the
+	// circuit formed and the body arrived, merely damaged — so one
+	// re-send on the same plane is cheaper than charging the failover
+	// path and poisoning the plane-down cache for a transient bit error.
+	DefaultCRCRetries = 1
 )
 
 // FailoverConfig calibrates the driver-level reliability protocol.
@@ -103,6 +109,11 @@ type FailoverConfig struct {
 	// Planes with hard evidence of death (severed wire) are never
 	// retried within a send.
 	MaxAttempts int
+	// CRCRetries is the per-message budget of same-plane re-sends on a
+	// corrupt verdict before the driver charges the failover path. Zero
+	// disables the retry (every NACK fails over immediately — the
+	// pre-retry behaviour). Retries count against MaxAttempts.
+	CRCRetries int
 }
 
 // DefaultFailover returns the calibrated protocol constants.
@@ -115,6 +126,7 @@ func DefaultFailover() FailoverConfig {
 		ReprobeInterval: DefaultReprobeInterval,
 		PlaneDownCheck:  DefaultPlaneDownCheck,
 		MaxAttempts:     DefaultMaxAttempts,
+		CRCRetries:      DefaultCRCRetries,
 	}
 }
 
@@ -134,6 +146,9 @@ type PlaneCounters struct {
 	SetupTimeouts int64
 	// CRCErrors counts attempts delivered corrupt and NACKed.
 	CRCErrors int64
+	// CRCRetries counts NACKed attempts re-sent on the same plane under
+	// the CRCRetries budget instead of failing over.
+	CRCRetries int64
 	// FailedOver counts attempts abandoned to the other plane.
 	FailedOver int64
 	// SkippedDown counts sends that skipped this plane on a plane-down
@@ -159,6 +174,7 @@ func (n *Network) PlaneCounterSet(p int) stats.CounterSet {
 	set.Add("link-down", c.LinkDown)
 	set.Add("setup-timeouts", c.SetupTimeouts)
 	set.Add("crc-errors", c.CRCErrors)
+	set.Add("crc-retries", c.CRCRetries)
 	set.Add("failed-over", c.FailedOver)
 	set.Add("skipped-down", c.SkippedDown)
 	set.Add("os-messages", c.OSMessages)
@@ -194,6 +210,10 @@ type Delivery struct {
 	Retried bool
 	// Failed marks a message both planes failed to carry.
 	Failed bool
+	// PayloadBytes is the message's payload length as requested — echoed
+	// on every outcome so open-loop senders with many messages in flight
+	// can account delivered bytes from the callback alone.
+	PayloadBytes int
 	// Sent is the requested entry time; Done is delivery (intact
 	// LastByte) or, for failed messages, when the sender gave up.
 	Sent, Done sim.Time

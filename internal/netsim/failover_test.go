@@ -111,15 +111,59 @@ func TestFailoverOnCorruption(t *testing.T) {
 	if d.Failed || !d.Retried || d.Plane != topo.NetworkB {
 		t.Errorf("delivery = %+v, want retried plane-B success", d)
 	}
-	if n.NI(1).Links[topo.NetworkA].CRCErrors() != 1 {
-		t.Error("destination NI did not count the CRC failure")
+	// The corruption window outlasts the send, so the same-plane CRC
+	// retry (CRCRetries budget) is NACKed too before the failover: two
+	// CRC errors on plane A, one spent retry, one real failover.
+	if n.NI(1).Links[topo.NetworkA].CRCErrors() != 2 {
+		t.Error("destination NI did not count both CRC failures")
 	}
-	if n.Plane(topo.NetworkA).CRCErrors != 1 {
-		t.Errorf("plane A counters = %+v", n.Plane(topo.NetworkA))
+	a := n.Plane(topo.NetworkA)
+	if a.CRCErrors != 2 || a.CRCRetries != 1 || a.FailedOver != 1 {
+		t.Errorf("plane A counters = %+v", a)
 	}
-	// A NACK detects much faster than the ack timeout.
+	// Two NACK returns still detect much faster than one ack timeout.
 	if d.Done >= cfg.AckTimeout {
 		t.Errorf("NACK path took %v, want under the ack timeout %v", d.Done, cfg.AckTimeout)
+	}
+}
+
+// TestCRCRetrySamePlane pins the same-plane re-send: when the
+// corruption window has passed by the time the retry crosses the wire,
+// the message is delivered on its preferred plane — no failover, no
+// plane-down poisoning — at the cost of one NACK return plus backoff.
+func TestCRCRetrySamePlane(t *testing.T) {
+	n := New(topo.Cluster8())
+	cfg := DefaultFailover()
+	tp := n.MustTransport(0, cfg)
+	// A corruption window so short only the first crossing is hit.
+	n.CorruptWire(0, topo.NetworkA, 0, 1*sim.Nanosecond)
+	d, err := tp.Send(0, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Failed || d.Plane != topo.NetworkA || d.Attempts != 2 {
+		t.Errorf("delivery = %+v, want second-attempt plane-A success", d)
+	}
+	a, b := n.Plane(topo.NetworkA), n.Plane(topo.NetworkB)
+	if a.CRCErrors != 1 || a.CRCRetries != 1 || a.FailedOver != 0 || a.Delivered != 1 {
+		t.Errorf("plane A counters = %+v", a)
+	}
+	if b.Attempts != 0 {
+		t.Errorf("plane B counters = %+v, want untouched", b)
+	}
+	if down, _ := tp.PlaneDown(topo.NetworkA); down {
+		t.Error("CRC retry poisoned the plane-down cache")
+	}
+	// A zero budget restores the old immediate-failover behaviour.
+	n.Reset()
+	n.CorruptWire(0, topo.NetworkA, 0, 1*sim.Nanosecond)
+	cfg.CRCRetries = 0
+	d, err = n.SendReliable(0, 0, 1, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Failed || d.Plane != topo.NetworkB {
+		t.Errorf("zero-budget delivery = %+v, want plane-B failover", d)
 	}
 }
 
@@ -226,7 +270,7 @@ func TestPlaneCounterSetOrdering(t *testing.T) {
 	if set.Get("attempts") != 1 || set.Get("delivered") != 1 {
 		t.Errorf("counter set = %+v", set)
 	}
-	want := []string{"attempts", "delivered", "stalled", "link-down", "setup-timeouts", "crc-errors", "failed-over", "skipped-down", "os-messages", "os-dropped"}
+	want := []string{"attempts", "delivered", "stalled", "link-down", "setup-timeouts", "crc-errors", "crc-retries", "failed-over", "skipped-down", "os-messages", "os-dropped"}
 	for i, name := range want {
 		if set.Counters[i].Name != name {
 			t.Fatalf("counter %d = %q, want %q (render order is the contract)", i, set.Counters[i].Name, name)

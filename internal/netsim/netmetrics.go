@@ -34,6 +34,12 @@ const (
 	// histogram: how long the driver took to learn an attempt died
 	// (ack timeout, NACK return or FIFO-stall abandon).
 	MetricDetection = "netsim.failover.detection"
+	// MetricSendLatencyTenantPrefix prefixes the per-tenant delivered-
+	// latency histograms: one histogram per label declared via
+	// Transport.SetTenant or PartNetwork.SetTenants, on finer buckets
+	// than the machine-wide MetricSendLatency so tail percentiles
+	// (internal/traffic SLOs) resolve within a quasi-√2 step.
+	MetricSendLatencyTenantPrefix = MetricSendLatency + "."
 )
 
 // latencyBuckets spans the send-latency range of interest: from the
@@ -43,11 +49,28 @@ func latencyBuckets() []sim.Time {
 	return metrics.TimeBuckets(sim.Microsecond, 2, 10) // 1 µs .. 512 µs
 }
 
+// tenantLatencyBuckets is the per-tenant latency ladder: a quasi-√2
+// geometric sequence (1, 1.5, 2, 3, 4, 6, ... µs) spanning the same
+// range as latencyBuckets with twice the resolution, because SLO
+// percentiles are read off these buckets and a factor-2 ladder would
+// round a p999 up to double its true value.
+func tenantLatencyBuckets() []sim.Time {
+	out := make([]sim.Time, 0, 20)
+	for b := sim.Microsecond; b <= 512*sim.Microsecond; b *= 2 {
+		out = append(out, b, b+b/2)
+	}
+	return out
+}
+
 // netInstruments holds the network's resolved instruments; the zero
 // value (all nil) is the "metrics off" state.
 type netInstruments struct {
 	sends, delivered, failed, retried, planeDownHits *metrics.Counter
 	sendLatency, detection                           *metrics.Histogram
+	// tenantLat holds the per-tenant delivered-latency histograms of a
+	// partitioned shard, indexed by the tenant id SendAsyncTenant carries
+	// (PartNetwork.SetTenants); nil when unlabelled.
+	tenantLat []*metrics.Histogram
 }
 
 // SetMetrics attaches a metrics registry: the failover send path feeds
@@ -58,6 +81,7 @@ type netInstruments struct {
 // instrument). A nil registry detaches everything — the default state,
 // costing the instrumented paths one nil check per observation.
 func (n *Network) SetMetrics(m *metrics.Registry) {
+	n.mreg = m
 	if m == nil {
 		n.met = netInstruments{}
 	} else {

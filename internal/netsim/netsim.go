@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"powermanna/internal/link"
+	"powermanna/internal/metrics"
 	"powermanna/internal/ni"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
@@ -63,6 +64,9 @@ type Network struct {
 	// met holds the resolved metrics instruments the reliable-send path
 	// feeds (netmetrics.go); the zero value is the "metrics off" state.
 	met netInstruments
+	// mreg is the attached registry itself, kept so late labelling
+	// (Transport.SetTenant) can resolve additional instruments.
+	mreg *metrics.Registry
 	// osSending marks sends issued by the background OS stream so their
 	// message spans land on the OS track instead of a node track.
 	osSending bool

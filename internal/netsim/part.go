@@ -89,6 +89,9 @@ type PartNetwork struct {
 	// deliver, when non-nil, receives every delivered payload on the
 	// destination shard. Registered before Run; immutable during it.
 	deliver DeliverFunc
+	// tenants are the labels SetTenants declared, kept so a re-attached
+	// registry re-resolves the per-tenant histograms.
+	tenants []string
 	// userReg/userRec are the caller's registry and recorder; per-shard
 	// instances absorb the run and fold back at Finish.
 	userReg *metrics.Registry
@@ -253,6 +256,26 @@ func (pn *PartNetwork) SetMetrics(m *metrics.Registry) {
 			ps.planeWait[p] = ps.reg.TimeHistogram(xbar.MetricArbWaitPlanePrefix+planeName(p), buckets)
 		}
 	}
+	pn.SetTenants(pn.tenants)
+}
+
+// SetTenants declares the tenant labels of SendAsyncTenant: tenant i's
+// delivered latencies land in the histogram named
+// MetricSendLatencyTenantPrefix + names[i], resolved per shard and
+// folded with the rest at Finish. Off (like everything else) when no
+// registry is attached; call order with SetMetrics does not matter.
+func (pn *PartNetwork) SetTenants(names []string) {
+	pn.tenants = names
+	for _, ps := range pn.shards {
+		if ps.reg == nil || len(names) == 0 {
+			ps.met.tenantLat = nil
+			continue
+		}
+		ps.met.tenantLat = make([]*metrics.Histogram, len(names))
+		for i, name := range names {
+			ps.met.tenantLat[i] = ps.reg.TimeHistogram(MetricSendLatencyTenantPrefix+name, tenantLatencyBuckets())
+		}
+	}
 }
 
 // ShardRegistry exposes shard i's private registry so co-partitioned
@@ -330,6 +353,7 @@ func (pn *PartNetwork) Plane(p int) PlaneCounters {
 		sum.LinkDown += c.LinkDown
 		sum.SetupTimeouts += c.SetupTimeouts
 		sum.CRCErrors += c.CRCErrors
+		sum.CRCRetries += c.CRCRetries
 		sum.FailedOver += c.FailedOver
 		sum.SkippedDown += c.SkippedDown
 	}
@@ -349,6 +373,7 @@ func (pn *PartNetwork) PlaneCounterSet(p int) stats.CounterSet {
 	set.Add("link-down", c.LinkDown)
 	set.Add("setup-timeouts", c.SetupTimeouts)
 	set.Add("crc-errors", c.CRCErrors)
+	set.Add("crc-retries", c.CRCRetries)
 	set.Add("failed-over", c.FailedOver)
 	set.Add("skipped-down", c.SkippedDown)
 	set.Add("os-messages", c.OSMessages)
@@ -763,9 +788,12 @@ func (ps *partShard) processDst(l *pleg) {
 	lif := ps.pn.net.nis[rl.dst].Links[rl.plane]
 	pc := &ps.planes[rl.plane]
 	if corrupted(checks, res.last) {
+		// The CRC error is discovered (and counted) here; whether the
+		// sender spends a same-plane retry or fails over is decided on the
+		// source shard, which owns the send's budget — the failed-over and
+		// crc-retries counters land there (psend.finish).
 		lif.RecordCRCError()
 		pc.CRCErrors++
-		pc.FailedOver++
 		ps.sendVerdict(rl, &finalizeMsg{
 			msgID: rl.msgID, kind: finCRC,
 			last: res.last, firstByte: res.first, setupDone: res.head,

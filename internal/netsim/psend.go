@@ -31,10 +31,12 @@ type psend struct {
 	payloadBytes int
 	payload      any
 	cfg          FailoverConfig
-	maxAttempts  int
 	st           sendState
 	msgID        uint64
-	onDone       func(Delivery)
+	// tenant indexes the shard's per-tenant latency histograms
+	// (SetTenants); -1 on unlabelled sends.
+	tenant int
+	onDone func(Delivery)
 
 	// Protocol cursor: which pass and plane the driver will try next.
 	phase         int
@@ -63,6 +65,18 @@ type psend struct {
 // reaches the destination through the OnDeliver hook at its arrival
 // time. The returned error covers only malformed arguments.
 func (pn *PartNetwork) SendAsync(src, dst, payloadBytes int, payload any, at sim.Time, onDone func(Delivery)) error {
+	return pn.sendAsync(-1, src, dst, payloadBytes, payload, at, onDone)
+}
+
+// SendAsyncTenant is SendAsync with a tenant label: the delivered
+// latency additionally lands in the tenant's labelled histogram
+// (SetTenants declares the labels; the index is into that slice).
+// Everything else — protocol, timing, determinism — is identical.
+func (pn *PartNetwork) SendAsyncTenant(tenant, src, dst, payloadBytes int, payload any, at sim.Time, onDone func(Delivery)) error {
+	return pn.sendAsync(tenant, src, dst, payloadBytes, payload, at, onDone)
+}
+
+func (pn *PartNetwork) sendAsync(tenant, src, dst, payloadBytes int, payload any, at sim.Time, onDone func(Delivery)) error {
 	nodes := pn.net.topo.Nodes()
 	if src < 0 || src >= nodes || dst < 0 || dst >= nodes {
 		return fmt.Errorf("netsim: node out of range (%d, %d)", src, dst)
@@ -83,15 +97,12 @@ func (pn *PartNetwork) SendAsync(src, dst, payloadBytes int, payload any, at sim
 		src: src, dst: dst,
 		payloadBytes: payloadBytes, payload: payload,
 		cfg:    pn.tps[src].cfg,
-		st:     sendState{at: at},
 		msgID:  uint64(src)<<32 | uint64(pn.msgSeq[src]),
+		tenant: tenant,
 		onDone: onDone,
 		phase:  1,
 	}
-	p.maxAttempts = p.cfg.MaxAttempts
-	if p.maxAttempts <= 0 {
-		p.maxAttempts = len(p.st.hard)
-	}
+	p.st = newSendState(at, p.cfg)
 	p.step()
 	return nil
 }
@@ -111,7 +122,7 @@ func (p *psend) step() {
 			}
 			plane := planes[p.idx]
 			p.idx++
-			if p.st.attempts >= p.maxAttempts {
+			if p.st.attempts >= p.st.maxAttempts {
 				p.phase = 4
 				continue
 			}
@@ -138,7 +149,7 @@ func (p *psend) step() {
 			}
 			plane := p.st.skipped[p.idx]
 			p.idx++
-			if p.st.attempts >= p.maxAttempts {
+			if p.st.attempts >= p.st.maxAttempts {
 				p.phase = 4
 				continue
 			}
@@ -146,7 +157,7 @@ func (p *psend) step() {
 				return
 			}
 		case 3: // alternate soft-failed planes until the budget runs out
-			if p.st.attempts >= p.maxAttempts {
+			if p.st.attempts >= p.st.maxAttempts {
 				p.phase = 4
 				continue
 			}
@@ -173,7 +184,8 @@ func (p *psend) step() {
 			}
 			d := Delivery{
 				Attempts: p.st.attempts, SkippedDown: len(p.st.skipped),
-				Failed: true, Sent: p.st.at, Done: p.st.attemptAt(),
+				Failed: true, PayloadBytes: p.payloadBytes,
+				Sent: p.st.at, Done: p.st.attemptAt(),
 			}
 			p.ps.met.observeSend(d)
 			p.onDone(d)
@@ -313,11 +325,14 @@ func (p *psend) srcComplete(res walkRes) {
 	if bad {
 		lif.RecordCRCError()
 		pc.CRCErrors++
-		pc.FailedOver++
 		detected := res.last + p.cfg.NackLatency
+		p.st.elapsed = detected + p.cfg.RetryBackoff - p.st.at
+		if p.retryCRC(detected) {
+			return
+		}
+		pc.FailedOver++
 		p.tp.markDown(p.curPlane, detected, p.cfg)
 		p.traceAttempt(p.curPlane, p.curAttemptAt, detected, "crc-nack")
-		p.st.elapsed = detected + p.cfg.RetryBackoff - p.st.at
 		p.step()
 		return
 	}
@@ -349,14 +364,21 @@ func (p *psend) finish(fm *finalizeMsg) {
 		}, fm.last)
 	case finCRC:
 		// The circuit completed and the body crossed it — the claims run
-		// to the last byte — but the destination NACKed the frame.
+		// to the last byte — but the destination NACKed the frame. The
+		// retry-or-failover decision is the sender's: only this shard
+		// holds the send's budget, so the destination counted the CRC
+		// error and the failed-over/retried split is charged here.
 		ps.claimWires(p.srcWires, fm.last)
 		ps.claimHops(p.srcHops, fm.last, p.curPlane)
 		ps.releaseOpen(p.openKeys)
 		p.recordMsgSpans(p.curEntry, fm.setupDone, fm.last, true)
+		p.st.elapsed = fm.detected + p.cfg.RetryBackoff - p.st.at
+		if p.retryCRC(fm.detected) {
+			return
+		}
+		ps.planes[p.curPlane].FailedOver++
 		p.tp.markDown(p.curPlane, fm.detected, p.cfg)
 		p.traceAttempt(p.curPlane, p.curAttemptAt, fm.detected, "crc-nack")
-		p.st.elapsed = fm.detected + p.cfg.RetryBackoff - p.st.at
 		p.step()
 	default: // finCut, finTimeout: the suffix never formed
 		ps.claimWires(p.srcWires, fm.detected)
@@ -374,17 +396,40 @@ func (p *psend) finish(fm *finalizeMsg) {
 	}
 }
 
+// retryCRC spends one same-plane re-send from the CRCRetries budget on
+// a corrupt verdict, mirroring Transport.tryPlane's branch: the caller
+// has already advanced the sender clock (st.elapsed) past the NACK
+// return and backoff. It reports whether a retry was launched or the
+// protocol resumed — false means the budget is spent and the caller
+// charges the failover path.
+func (p *psend) retryCRC(detected sim.Time) bool {
+	if p.st.crcLeft <= 0 || p.st.attempts >= p.st.maxAttempts {
+		return false
+	}
+	p.st.crcLeft--
+	p.ps.planes[p.curPlane].CRCRetries++
+	p.traceAttempt(p.curPlane, p.curAttemptAt, detected, "crc-retry")
+	if !p.launch(p.curPlane) {
+		p.step()
+	}
+	return true
+}
+
 // deliverOutcome completes the protocol with a successful delivery.
 func (p *psend) deliverOutcome(tr Transit, done sim.Time) {
 	p.tp.down[p.curPlane] = planeDown{}
 	d := Delivery{
 		Transit: tr, Plane: p.curPlane,
-		Attempts:    p.st.attempts,
-		Retried:     p.st.attempts > 1 || len(p.st.skipped) > 0,
-		SkippedDown: len(p.st.skipped),
-		Sent:        p.st.at, Done: done,
+		Attempts:     p.st.attempts,
+		Retried:      p.st.attempts > 1 || len(p.st.skipped) > 0,
+		SkippedDown:  len(p.st.skipped),
+		PayloadBytes: p.payloadBytes,
+		Sent:         p.st.at, Done: done,
 	}
 	p.ps.met.observeSend(d)
+	if p.tenant >= 0 && p.tenant < len(p.ps.met.tenantLat) {
+		p.ps.met.tenantLat[p.tenant].ObserveTime(d.Latency())
+	}
 	p.onDone(d)
 }
 

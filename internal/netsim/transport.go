@@ -29,6 +29,7 @@ package netsim
 import (
 	"fmt"
 
+	"powermanna/internal/metrics"
 	"powermanna/internal/ni"
 	"powermanna/internal/sim"
 	"powermanna/internal/topo"
@@ -74,6 +75,9 @@ type Transport struct {
 	// down is the plane-down cache, one entry per link interface of the
 	// node (one per network plane of the duplicated system).
 	down [ni.LinksPerNode]planeDown
+	// tenantLat, when labelled via SetTenant, additionally receives every
+	// delivered send's latency under the tenant's histogram name.
+	tenantLat *metrics.Histogram
 }
 
 // Transport returns a new fault-aware per-source send handle using the
@@ -108,6 +112,19 @@ func (t *Transport) Src() int { return t.src }
 
 // Config returns the failover configuration the transport applies.
 func (t *Transport) Config() FailoverConfig { return t.cfg }
+
+// SetTenant labels this transport's delivered sends: latencies
+// additionally land in the tenant's own histogram
+// (MetricSendLatencyTenantPrefix + name), resolved from the registry the
+// network holds — call after Network.SetMetrics. An empty name, or
+// metrics off, clears the label.
+func (t *Transport) SetTenant(name string) {
+	if name == "" || t.net.mreg == nil {
+		t.tenantLat = nil
+		return
+	}
+	t.tenantLat = t.net.mreg.TimeHistogram(MetricSendLatencyTenantPrefix+name, tenantLatencyBuckets())
+}
 
 // PlaneDown reports whether the driver's plane-down cache currently
 // marks the plane dead, and until when sends skip it.
@@ -177,6 +194,9 @@ func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverCon
 	d, err := t.sendProtocol(at, dst, payloadBytes, cfg)
 	if err == nil {
 		t.net.met.observeSend(d)
+		if !d.Failed {
+			t.tenantLat.ObserveTime(d.Latency())
+		}
 	}
 	return d, err
 }
@@ -201,15 +221,11 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 	if payloadBytes < 0 {
 		return Delivery{}, fmt.Errorf("netsim: negative payload")
 	}
-	st := sendState{at: at}
-	maxAttempts := cfg.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = len(st.hard) // legacy: one real attempt per plane
-	}
+	st := newSendState(at, cfg)
 	// Pass 1, preferred order: plane A, then plane B, with the plane-down
 	// cache short-circuiting planes the driver already knows are dead.
 	for _, plane := range [2]int{topo.NetworkA, topo.NetworkB} {
-		if st.attempts >= maxAttempts {
+		if st.attempts >= st.maxAttempts {
 			break
 		}
 		if pd := &t.down[plane]; pd.down && cfg.ReprobeInterval > 0 && st.attemptAt() < pd.reprobeAt {
@@ -236,7 +252,7 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 	// Pass 2: nothing delivered yet, so probe the planes the cache
 	// skipped before burning budget on retries.
 	for _, plane := range st.skipped {
-		if st.attempts >= maxAttempts {
+		if st.attempts >= st.maxAttempts {
 			break
 		}
 		d, final, err := t.tryPlane(plane, dst, payloadBytes, cfg, &st)
@@ -247,10 +263,10 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 	// Pass 3: every wired plane soft-failed at least once. Congestion and
 	// death are indistinguishable from the sender, so keep alternating
 	// planes that lack hard evidence of death until the budget runs out.
-	for st.attempts < maxAttempts {
+	for st.attempts < st.maxAttempts {
 		before := st.attempts
 		for _, plane := range [2]int{topo.NetworkA, topo.NetworkB} {
-			if st.hard[plane] || st.attempts >= maxAttempts {
+			if st.hard[plane] || st.attempts >= st.maxAttempts {
 				continue
 			}
 			d, final, err := t.tryPlane(plane, dst, payloadBytes, cfg, &st)
@@ -266,7 +282,8 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 		n.rec.InstantArg(trace.NodeTrack(t.src), "failover", "send-failed", st.attemptAt(),
 			fmt.Sprintf("%d->%d after %d attempts", t.src, dst, st.attempts)) //pmlint:allow hotpath trace-gated formatting on the all-planes-failed path
 	}
-	return Delivery{Attempts: st.attempts, SkippedDown: len(st.skipped), Failed: true, Sent: at, Done: st.attemptAt()}, nil
+	return Delivery{Attempts: st.attempts, SkippedDown: len(st.skipped), Failed: true,
+		PayloadBytes: payloadBytes, Sent: at, Done: st.attemptAt()}, nil
 }
 
 // sendState threads one reliable send's accounting through its plane
@@ -276,10 +293,26 @@ type sendState struct {
 	// detection window, status check and backoff since.
 	at, elapsed sim.Time
 	attempts    int
+	// maxAttempts is the resolved real-attempt budget; crcLeft the
+	// remaining same-plane re-sends the CRCRetries budget allows.
+	maxAttempts int
+	crcLeft     int
 	skipped     []int
 	// hard marks planes ruled out by hard evidence (severed wire) —
 	// never worth a retry within this send.
 	hard [ni.LinksPerNode]bool
+}
+
+// newSendState seeds one reliable send's accounting from its config:
+// the resolved attempt budget (zero MaxAttempts means one real attempt
+// per wired plane, the legacy shape) and the same-plane CRC re-send
+// budget.
+func newSendState(at sim.Time, cfg FailoverConfig) sendState {
+	ma := cfg.MaxAttempts
+	if ma <= 0 {
+		ma = ni.LinksPerNode
+	}
+	return sendState{at: at, maxAttempts: ma, crcLeft: cfg.CRCRetries}
 }
 
 // attemptAt is the sender's clock for the next attempt.
@@ -365,23 +398,33 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 	if tr.Corrupted {
 		n.nis[dst].Links[plane].RecordCRCError()
 		pc.CRCErrors++
-		pc.FailedOver++
 		detected := tr.LastByte + cfg.NackLatency
+		st.elapsed = detected + cfg.RetryBackoff - st.at
+		if st.crcLeft > 0 && st.attempts < st.maxAttempts {
+			// A NACK proves the plane carried the frame end to end —
+			// transient corruption, not a dead plane. Spend the bounded
+			// same-plane budget before charging the failover path.
+			st.crcLeft--
+			pc.CRCRetries++
+			t.traceAttempt(plane, attemptAt, detected, "crc-retry")
+			return t.tryPlane(plane, dst, payloadBytes, cfg, st)
+		}
+		pc.FailedOver++
 		t.markDown(plane, detected, cfg)
 		t.traceAttempt(plane, attemptAt, detected, "crc-nack")
-		st.elapsed = detected + cfg.RetryBackoff - st.at
 		return Delivery{}, false, nil
 	}
 	n.nis[dst].Links[plane].RecordFrame()
 	pc.Delivered++
 	t.down[plane] = planeDown{}
 	return Delivery{
-		Transit:     tr,
-		Plane:       plane,
-		Attempts:    st.attempts,
-		Retried:     st.attempts > 1 || len(st.skipped) > 0,
-		SkippedDown: len(st.skipped),
-		Sent:        st.at,
-		Done:        tr.LastByte,
+		Transit:      tr,
+		Plane:        plane,
+		Attempts:     st.attempts,
+		Retried:      st.attempts > 1 || len(st.skipped) > 0,
+		SkippedDown:  len(st.skipped),
+		PayloadBytes: payloadBytes,
+		Sent:         st.at,
+		Done:         tr.LastByte,
 	}, true, nil
 }

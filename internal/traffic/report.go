@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"powermanna/internal/metrics"
+	"powermanna/internal/psim"
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+	"powermanna/internal/topo"
+)
+
+// TenantStats is one tenant's service report, read off the folded
+// registry after Run: offered versus delivered traffic, the delivered-
+// latency percentiles and the SLO verdict.
+type TenantStats struct {
+	Name string
+	SLO  SLO
+	// Offered/Delivered/Failed count messages; the Bytes counters carry
+	// the corresponding payload volume (delivered bytes are accounted
+	// from the outcome's PayloadBytes, so a failed message contributes
+	// offered bytes but no delivered bytes).
+	Offered, OfferedBytes     int64
+	Delivered, DeliveredBytes int64
+	Failed                    int64
+	// Violations counts failed messages plus delivered messages whose
+	// individual latency exceeded the SLO bound (exact, not
+	// bucket-derived).
+	Violations int64
+	// P50/P99/P999 are delivered-latency quantiles from the tenant's
+	// folded histogram (bucket upper bounds sharpened by the min/max
+	// envelope).
+	P50, P99, P999 sim.Time
+}
+
+// Met reports whether the SLO percentile stayed at or under the bound.
+// This is the histogram-level verdict; Violations is the per-message
+// count.
+func (ts TenantStats) Met() bool {
+	switch ts.SLO.Quantile {
+	case 0.5:
+		return ts.P50 <= ts.SLO.Bound
+	case 0.99:
+		return ts.P99 <= ts.SLO.Bound
+	case 0.999:
+		return ts.P999 <= ts.SLO.Bound
+	default:
+		return ts.Violations == 0
+	}
+}
+
+// Result is one traffic run's full report: the mix, the machine, and
+// per-tenant service statistics, all derived from the folded registry
+// so it is byte-identical across engines and shard counts.
+type Result struct {
+	Mix      Mix
+	Topology *topo.Topology
+	Seed     int64
+	Horizon  sim.Time
+	Engine   psim.Kind
+	Shards   int
+	Tenants  []TenantStats
+	Registry *metrics.Registry
+	PlaneA   stats.CounterSet
+	PlaneB   stats.CounterSet
+}
+
+// MixTable renders the tenant declarations — what was asked of the
+// machine, next to ServiceTable's what it got.
+func (r *Result) MixTable() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("tenant mix %s", r.Mix.Name),
+		Columns: []string{"tenant", "arrival", "gap-us", "on-us", "off-us", "sizes", "pattern", "slo"},
+	}
+	for _, tn := range r.Mix.Tenants {
+		on, off := "-", "-"
+		if tn.Arrival.Kind == OnOff {
+			on = fmt.Sprintf("%.0f", tn.Arrival.OnMean.Micros())
+			off = fmt.Sprintf("%.0f", tn.Arrival.OffMean.Micros())
+		}
+		t.AddRow(
+			tn.Name,
+			tn.Arrival.Kind.String(),
+			fmt.Sprintf("%.0f", tn.Arrival.MeanGap.Micros()),
+			on, off,
+			tn.Sizes.String(),
+			tn.Pattern.String(),
+			tn.SLO.String(),
+		)
+	}
+	return t
+}
+
+// ServiceTable renders the per-tenant service report: offered versus
+// delivered traffic, latency percentiles, and the SLO verdict with the
+// exact violation count.
+func (r *Result) ServiceTable() *stats.Table {
+	t := &stats.Table{
+		Title: "per-tenant service",
+		Columns: []string{
+			"tenant", "offered", "delivered", "failed", "bytes-out", "bytes-in",
+			"p50-us", "p99-us", "p999-us", "slo", "ok", "viol",
+		},
+	}
+	for _, ts := range r.Tenants {
+		ok := "yes"
+		if !ts.Met() {
+			ok = "NO"
+		}
+		t.AddRow(
+			ts.Name,
+			fmt.Sprintf("%d", ts.Offered),
+			fmt.Sprintf("%d", ts.Delivered),
+			fmt.Sprintf("%d", ts.Failed),
+			fmt.Sprintf("%d", ts.OfferedBytes),
+			fmt.Sprintf("%d", ts.DeliveredBytes),
+			fmt.Sprintf("%.3f", ts.P50.Micros()),
+			fmt.Sprintf("%.3f", ts.P99.Micros()),
+			fmt.Sprintf("%.3f", ts.P999.Micros()),
+			ts.SLO.String(),
+			ok,
+			fmt.Sprintf("%d", ts.Violations),
+		)
+	}
+	return t
+}
+
+// Render produces the full textual report: header, mix, per-tenant
+// service and plane counters. Pure function of the folded registry —
+// the string golden tests pin.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### traffic %s — %s\n", r.Mix.Name, r.Mix.Description)
+	fmt.Fprintf(&b, "topology %s, seed %d, horizon %dus, %d tenants, open-loop over partitioned datapath\n\n",
+		r.Topology.Name(), r.Seed, int64(r.Horizon/sim.Microsecond), len(r.Mix.Tenants))
+	b.WriteString(r.MixTable().Render())
+	b.WriteByte('\n')
+	b.WriteString(r.ServiceTable().Render())
+	b.WriteByte('\n')
+	b.WriteString(r.PlaneA.Render())
+	b.WriteByte('\n')
+	b.WriteString(r.PlaneB.Render())
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package traffic
+
+import (
+	"math"
+
+	"powermanna/internal/sim"
+)
+
+// rng is a splitmix64 stream — the same deterministic-PRNG idiom as the
+// netsim OS stream's jitter: a tiny seeded integer mixer, no global
+// state, no math/rand, so every draw is a pure function of the seed and
+// the draw index. Each (tenant, node) pair owns one stream, seeded from
+// (campaign seed, tenant index, node index), which makes every tenant's
+// schedule independent of which other tenants share the machine and of
+// the shard count.
+type rng struct {
+	state uint64
+}
+
+// seedRNG derives a stream for one (tenant, node) pair. The three mixes
+// use the splitmix64 increments as large odd multipliers so nearby
+// (seed, tenant, node) triples land far apart in state space.
+func seedRNG(seed int64, tenant, node int) rng {
+	s := uint64(seed)*0x9E3779B97F4A7C15 ^
+		uint64(tenant+1)*0xBF58476D1CE4E5B9 ^
+		uint64(node+1)*0x94D049BB133111EB
+	r := rng{state: s}
+	r.next() // discard one output to decorrelate the raw seed
+	return r
+}
+
+// next advances the stream (splitmix64 finalizer).
+//
+//pmlint:hotpath
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float draws uniformly from [0, 1) with 53 bits of precision.
+//
+//pmlint:hotpath
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn draws uniformly from [0, n). n must be positive; the modulo bias
+// over 64 bits is below 2^-40 for any realistic node count.
+//
+//pmlint:hotpath
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// exp draws an exponentially distributed duration with the given mean
+// (inverse-CDF on (0, 1]), floored at one nanosecond so an arrival
+// process can never re-arm at its own instant and spin the event loop.
+//
+//pmlint:hotpath
+func (r *rng) exp(mean sim.Time) sim.Time {
+	u := 1 - r.float() // (0, 1]: log stays finite
+	d := -float64(mean) * math.Log(u)
+	if d < float64(sim.Nanosecond) {
+		return sim.Nanosecond
+	}
+	return sim.Time(d)
+}

@@ -1,0 +1,234 @@
+package traffic
+
+import (
+	"math"
+
+	"powermanna/internal/metrics"
+	"powermanna/internal/netsim"
+	"powermanna/internal/psim"
+	"powermanna/internal/sim"
+)
+
+// tenantCounters holds one tenant's per-shard accounting. Each stream
+// writes only its own shard's set (resolved from that shard's private
+// registry), so the hot path is race-free under the parallel engine and
+// the fold sums the shards into the machine totals — the same pattern
+// as the netsim plane counters.
+type tenantCounters struct {
+	offered        *metrics.Counter
+	offeredBytes   *metrics.Counter
+	delivered      *metrics.Counter
+	deliveredBytes *metrics.Counter
+	failed         *metrics.Counter
+	violations     *metrics.Counter
+}
+
+// stream is one (tenant, node) arrival process: the unit of open-loop
+// load generation. It lives on the source node's shard; its fire and
+// completion handlers are bound once as method values so re-arming and
+// sending allocate nothing per message, and all mutable state is owned
+// by a single shard (sharedstate-safe by construction).
+type stream struct {
+	eng    *engineCore
+	sh     *psim.Shard
+	stats  *tenantCounters
+	r      rng
+	tenant int // index into the mix (and the SetTenants labels)
+	src    int
+	nodes  int
+
+	// at is the next arrival instant; onUntil ends the current on-period
+	// (OnOff only).
+	at      sim.Time
+	onUntil sim.Time
+
+	arrival Arrival
+	sizes   Sizes
+	pattern Pattern
+	bound   sim.Time // SLO latency bound
+
+	// negInvAlpha caches -1/Alpha for the bounded-Pareto inverse CDF.
+	negInvAlpha float64
+	// k is the pattern cursor (halo side, butterfly level, tree slot).
+	k int
+	// treeDst caches the node's binary-tree neighbours (Tree pattern).
+	treeDst []int
+
+	fireFn func()
+	doneFn func(netsim.Delivery)
+}
+
+// engineCore is the slice of Engine a stream needs; split out so
+// stream.go does not depend on the engine's construction machinery.
+type engineCore struct {
+	pn      *netsim.PartNetwork
+	horizon sim.Time
+}
+
+// newStream builds and seeds one (tenant, node) stream and primes its
+// first arrival. The caller schedules the first fire if it falls inside
+// the horizon.
+func newStream(eng *engineCore, tn Tenant, tenant, src, nodes int, seed int64, stats *tenantCounters) *stream {
+	s := &stream{
+		eng: eng, sh: eng.pn.Shard(eng.pn.ShardOf(src)), stats: stats,
+		r: seedRNG(seed, tenant, src), tenant: tenant, src: src, nodes: nodes,
+		arrival: tn.Arrival, sizes: tn.Sizes, pattern: tn.Pattern, bound: tn.SLO.Bound,
+	}
+	if s.sizes.Kind == Pareto {
+		s.negInvAlpha = -1 / s.sizes.Alpha
+	}
+	if s.pattern == Tree {
+		s.treeDst = treeNeighbours(src, nodes)
+	}
+	s.fireFn = s.fire
+	s.doneFn = s.done
+	// Prime the first arrival: Poisson starts one gap in; on-off starts
+	// at the head of the first burst, one off-period in.
+	if s.arrival.Kind == OnOff {
+		s.at = s.r.exp(s.arrival.OffMean)
+		s.onUntil = s.at + s.r.exp(s.arrival.OnMean)
+	} else {
+		s.at = s.r.exp(s.arrival.MeanGap)
+	}
+	return s
+}
+
+// treeNeighbours lists a node's binary-tree peers (parent, then
+// children), the token flow of the fork-join tree. The root has no
+// parent; leaves have no children; node 0's slot list is never empty
+// for nodes >= 2.
+func treeNeighbours(src, nodes int) []int {
+	var out []int
+	if src > 0 {
+		out = append(out, (src-1)/2)
+	}
+	if l := 2*src + 1; l < nodes {
+		out = append(out, l)
+	}
+	if r := 2*src + 2; r < nodes {
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		out = append(out, (src+1)%nodes)
+	}
+	return out
+}
+
+// fire offers one message at s.at — sample a size and destination,
+// count it, hand it to the split-phase datapath — then advances the
+// arrival process and re-arms while still inside the horizon. Runs as
+// an event on the source node's shard.
+//
+//pmlint:hotpath
+func (s *stream) fire() {
+	size := s.sampleSize()
+	dst := s.sampleDst()
+	s.stats.offered.Inc()
+	s.stats.offeredBytes.Add(int64(size))
+	if err := s.eng.pn.SendAsyncTenant(s.tenant, s.src, dst, size, nil, s.at, s.doneFn); err != nil {
+		// Arguments are validated at construction; reaching this is a
+		// model bug, not a runtime condition.
+		panic(err) //pmlint:allow hotpath cold panic guard for a model bug, never taken per event
+	}
+	s.advance()
+	if s.at < s.eng.horizon {
+		s.sh.At(s.at, s.fireFn)
+	}
+}
+
+// done accounts one outcome on the source shard: delivered traffic and
+// bytes, failures, and SLO violations (failed messages always violate;
+// delivered ones violate when their latency exceeds the bound).
+//
+//pmlint:hotpath
+func (s *stream) done(d netsim.Delivery) {
+	if d.Failed {
+		s.stats.failed.Inc()
+		s.stats.violations.Inc()
+		return
+	}
+	s.stats.delivered.Inc()
+	s.stats.deliveredBytes.Add(int64(d.PayloadBytes))
+	if s.bound > 0 && d.Latency() > s.bound {
+		s.stats.violations.Inc()
+	}
+}
+
+// advance moves s.at to the next arrival. Poisson adds one exponential
+// gap; on-off adds gaps while inside the burst, then jumps the
+// exponential off-period and opens the next burst.
+//
+//pmlint:hotpath
+func (s *stream) advance() {
+	if s.arrival.Kind != OnOff {
+		s.at += s.r.exp(s.arrival.MeanGap)
+		return
+	}
+	next := s.at + s.r.exp(s.arrival.MeanGap)
+	if next < s.onUntil {
+		s.at = next
+		return
+	}
+	start := s.onUntil + s.r.exp(s.arrival.OffMean)
+	s.at = start
+	s.onUntil = start + s.r.exp(s.arrival.OnMean)
+}
+
+// sampleSize draws one payload size from the tenant's law.
+//
+//pmlint:hotpath
+func (s *stream) sampleSize() int {
+	if s.sizes.Kind != Pareto {
+		return s.sizes.Bytes
+	}
+	u := 1 - s.r.float() // (0, 1]
+	v := float64(s.sizes.MinBytes) * math.Pow(u, s.negInvAlpha)
+	if v >= float64(s.sizes.MaxBytes) {
+		return s.sizes.MaxBytes
+	}
+	return int(v)
+}
+
+// sampleDst picks the next destination per the tenant's pattern; never
+// the source itself.
+//
+//pmlint:hotpath
+func (s *stream) sampleDst() int {
+	switch s.pattern {
+	case Halo:
+		s.k++
+		if s.k&1 == 1 {
+			return (s.src + 1) % s.nodes
+		}
+		return (s.src + s.nodes - 1) % s.nodes
+	case Butterfly:
+		d := s.src ^ (1 << uint(s.k))
+		s.k++
+		if 1<<uint(s.k) >= s.nodes {
+			s.k = 0
+		}
+		if d >= s.nodes || d == s.src {
+			return (s.src + 1) % s.nodes
+		}
+		return d
+	case Tree:
+		d := s.treeDst[s.k]
+		s.k++
+		if s.k >= len(s.treeDst) {
+			s.k = 0
+		}
+		return d
+	case Pair:
+		d := (s.src + s.nodes/2) % s.nodes
+		if d == s.src {
+			return (s.src + 1) % s.nodes
+		}
+		return d
+	default: // Uniform
+		d := s.r.intn(s.nodes - 1)
+		if d >= s.src {
+			d++
+		}
+		return d
+	}
+}

@@ -1,0 +1,306 @@
+// Package traffic is the open-loop multi-tenant traffic engine: the
+// layer that turns the simulator from "runs a benchmark" into "serves a
+// workload". Where every campaign before it drove one closed-loop
+// program, this package multiplexes several concurrent tenants — a halo
+// exchange, a butterfly reduction, a task-tree token stream, a bursty
+// background OS load — onto one machine through the partitioned
+// split-phase datapath (netsim.SendAsync), the way the paper's Section 4
+// motivates the general-purpose fabric: many simultaneously active
+// communication patterns, not one benchmark at a time.
+//
+// Open-loop means arrivals do not wait for completions: each (tenant,
+// node) pair owns a seeded arrival process (deterministic Poisson or
+// bursty on-off) that keeps offering messages at its own rate whatever
+// the network does with the previous ones. Under a fault campaign this
+// is the harsher and more realistic regime — a failed-over plane keeps
+// receiving offered load while it detects and retries — and it is what
+// makes the delivered-latency tail, not the mean, the quantity of
+// interest.
+//
+// Every tenant declares an SLO: a delivered-latency bound at a
+// percentile. The engine accounts per-tenant offered/delivered/failed
+// traffic and SLO violations through internal/metrics counters, and
+// reads p50/p99/p999 delivered latency straight off the per-tenant
+// histograms the netsim send path feeds (SendAsyncTenant labels), so
+// the report is a pure function of the folded registry — byte-identical
+// across --engine seq|par and every aligned shard count, by the same
+// commutative-fold argument as the rest of the partitioned datapath.
+package traffic
+
+import (
+	"fmt"
+
+	"powermanna/internal/sim"
+)
+
+// ArrivalKind selects a per-(tenant, node) arrival process.
+type ArrivalKind int
+
+const (
+	// Poisson offers messages with exponentially distributed
+	// inter-arrival gaps of mean MeanGap — memoryless steady load.
+	Poisson ArrivalKind = iota
+	// OnOff alternates exponentially distributed on-periods (mean
+	// OnMean), during which arrivals follow MeanGap, with off-periods
+	// (mean OffMean) of silence — the classic bursty source.
+	OnOff
+)
+
+// String names the kind as mix tables spell it.
+func (k ArrivalKind) String() string {
+	if k == OnOff {
+		return "on-off"
+	}
+	return "poisson"
+}
+
+// Arrival describes one tenant's per-node arrival process. All
+// randomness is drawn from a per-(seed, tenant, node) stream, so the
+// whole schedule is a pure function of the seed.
+type Arrival struct {
+	Kind ArrivalKind
+	// MeanGap is the mean inter-arrival gap (while on, for OnOff).
+	MeanGap sim.Time
+	// OnMean/OffMean are the mean burst and silence durations (OnOff).
+	OnMean, OffMean sim.Time
+}
+
+// SizeKind selects a message-size distribution.
+type SizeKind int
+
+const (
+	// Fixed offers constant Bytes-sized messages.
+	Fixed SizeKind = iota
+	// Pareto offers bounded-Pareto sizes on [MinBytes, MaxBytes] with
+	// tail index Alpha — the heavy-tailed mix real networks carry: most
+	// messages small, rare ones orders of magnitude larger.
+	Pareto
+)
+
+// Sizes describes a tenant's message-size distribution.
+type Sizes struct {
+	Kind SizeKind
+	// Bytes is the fixed payload size (Fixed).
+	Bytes int
+	// MinBytes/MaxBytes bound the Pareto support; Alpha is the tail
+	// index (smaller = heavier tail; 1 < Alpha < 2 has infinite
+	// variance on the unbounded law).
+	MinBytes, MaxBytes int
+	Alpha              float64
+}
+
+// String renders the size law for mix tables.
+func (s Sizes) String() string {
+	if s.Kind == Fixed {
+		return fmt.Sprintf("fixed %dB", s.Bytes)
+	}
+	return fmt.Sprintf("pareto %d..%dB a=%.1f", s.MinBytes, s.MaxBytes, s.Alpha)
+}
+
+// Pattern selects a tenant's destination pattern — the communication
+// shape of the application the tenant stands for.
+type Pattern int
+
+const (
+	// Uniform picks a uniformly random peer per message.
+	Uniform Pattern = iota
+	// Halo alternates the two ring neighbours (±1 mod nodes) — the 1D
+	// heat solver's exchange.
+	Halo
+	// Butterfly cycles the XOR partners (src ^ 2^k) — the recursive-
+	// doubling allreduce shape.
+	Butterfly
+	// Tree cycles the node's binary-tree neighbours (parent and
+	// children) — the fork-join task-tree token flow.
+	Tree
+	// Pair fixes the antipodal partner ((src + nodes/2) mod nodes) —
+	// the OS stream's rotating-pair shape, pinned per node.
+	Pair
+)
+
+// String names the pattern as mix tables spell it.
+func (p Pattern) String() string {
+	switch p {
+	case Halo:
+		return "halo"
+	case Butterfly:
+		return "butterfly"
+	case Tree:
+		return "tree"
+	case Pair:
+		return "pair"
+	default:
+		return "uniform"
+	}
+}
+
+// SLO is a tenant's service-level objective: delivered latency at the
+// given quantile must stay at or under Bound. Failed messages always
+// violate; delivered messages violate when their individual latency
+// exceeds Bound (the violation counter is exact, not bucket-derived).
+type SLO struct {
+	Quantile float64
+	Bound    sim.Time
+}
+
+// String renders the objective as service tables spell it, e.g.
+// "p99<=40us".
+func (s SLO) String() string {
+	return fmt.Sprintf("p%s<=%dus", quantileLabel(s.Quantile), int64(s.Bound/sim.Microsecond))
+}
+
+// quantileLabel renders 0.99 as "99", 0.999 as "999", 0.5 as "50".
+func quantileLabel(q float64) string {
+	switch q {
+	case 0.5:
+		return "50"
+	case 0.99:
+		return "99"
+	case 0.999:
+		return "999"
+	default:
+		return fmt.Sprintf("%g", q*100)
+	}
+}
+
+// Tenant is one workload sharing the machine: a name (its metric
+// label), an arrival process, a size distribution, a destination
+// pattern and an SLO.
+type Tenant struct {
+	Name    string
+	Arrival Arrival
+	Sizes   Sizes
+	Pattern Pattern
+	SLO     SLO
+}
+
+// Mix is a named set of tenants multiplexed onto one machine.
+type Mix struct {
+	Name        string
+	Description string
+	Tenants     []Tenant
+}
+
+// DefaultMix is the four-tenant reference mix: the repo's three
+// application shapes plus a bursty background OS stream, rates chosen
+// so the machine runs busy but unsaturated at the default horizon.
+func DefaultMix() Mix {
+	return Mix{
+		Name:        "default",
+		Description: "heat halo + allreduce butterfly + fib task tree + bursty OS background",
+		Tenants: []Tenant{
+			{
+				Name:    "heat",
+				Arrival: Arrival{Kind: Poisson, MeanGap: 80 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Fixed, Bytes: 192},
+				Pattern: Halo,
+				SLO:     SLO{Quantile: 0.99, Bound: 40 * sim.Microsecond},
+			},
+			{
+				Name:    "allreduce",
+				Arrival: Arrival{Kind: Poisson, MeanGap: 160 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Fixed, Bytes: 64},
+				Pattern: Butterfly,
+				SLO:     SLO{Quantile: 0.99, Bound: 40 * sim.Microsecond},
+			},
+			{
+				Name:    "fib",
+				Arrival: Arrival{Kind: OnOff, MeanGap: 20 * sim.Microsecond, OnMean: 40 * sim.Microsecond, OffMean: 200 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Fixed, Bytes: 24},
+				Pattern: Tree,
+				SLO:     SLO{Quantile: 0.999, Bound: 100 * sim.Microsecond},
+			},
+			{
+				Name:    "os",
+				Arrival: Arrival{Kind: OnOff, MeanGap: 40 * sim.Microsecond, OnMean: 40 * sim.Microsecond, OffMean: 200 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Pareto, MinBytes: 128, MaxBytes: 2048, Alpha: 1.4},
+				Pattern: Pair,
+				SLO:     SLO{Quantile: 0.5, Bound: 25 * sim.Microsecond},
+			},
+		},
+	}
+}
+
+// BurstyMix is an all-on-off stress variant: every tenant bursts, sizes
+// run heavier-tailed, SLOs sit tighter — the mix to study tail collapse
+// under faults.
+func BurstyMix() Mix {
+	return Mix{
+		Name:        "bursty",
+		Description: "three bursty heavy-tailed tenants with tight tail SLOs",
+		Tenants: []Tenant{
+			{
+				Name:    "web",
+				Arrival: Arrival{Kind: OnOff, MeanGap: 10 * sim.Microsecond, OnMean: 50 * sim.Microsecond, OffMean: 100 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Pareto, MinBytes: 64, MaxBytes: 8192, Alpha: 1.2},
+				Pattern: Uniform,
+				SLO:     SLO{Quantile: 0.99, Bound: 30 * sim.Microsecond},
+			},
+			{
+				Name:    "shuffle",
+				Arrival: Arrival{Kind: OnOff, MeanGap: 20 * sim.Microsecond, OnMean: 80 * sim.Microsecond, OffMean: 240 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Pareto, MinBytes: 256, MaxBytes: 16384, Alpha: 1.5},
+				Pattern: Butterfly,
+				SLO:     SLO{Quantile: 0.99, Bound: 60 * sim.Microsecond},
+			},
+			{
+				Name:    "ctrl",
+				Arrival: Arrival{Kind: OnOff, MeanGap: 8 * sim.Microsecond, OnMean: 24 * sim.Microsecond, OffMean: 96 * sim.Microsecond},
+				Sizes:   Sizes{Kind: Fixed, Bytes: 32},
+				Pattern: Pair,
+				SLO:     SLO{Quantile: 0.999, Bound: 50 * sim.Microsecond},
+			},
+		},
+	}
+}
+
+// Mixes returns the named mixes of the package, in a fixed order.
+func Mixes() []Mix { return []Mix{DefaultMix(), BurstyMix()} }
+
+// MixByName resolves a mix by its name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("traffic: unknown mix %q", name)
+}
+
+// Validate checks a mix is runnable: at least one tenant, unique
+// non-empty names (they become metric labels), positive rates and
+// well-formed size distributions.
+func (m Mix) Validate() error {
+	if len(m.Tenants) == 0 {
+		return fmt.Errorf("traffic: mix %q has no tenants", m.Name)
+	}
+	seen := make(map[string]bool, len(m.Tenants))
+	for _, tn := range m.Tenants {
+		if tn.Name == "" {
+			return fmt.Errorf("traffic: mix %q has an unnamed tenant", m.Name)
+		}
+		if seen[tn.Name] {
+			return fmt.Errorf("traffic: mix %q repeats tenant %q", m.Name, tn.Name)
+		}
+		seen[tn.Name] = true
+		if tn.Arrival.MeanGap <= 0 {
+			return fmt.Errorf("traffic: tenant %q needs a positive mean gap", tn.Name)
+		}
+		if tn.Arrival.Kind == OnOff && (tn.Arrival.OnMean <= 0 || tn.Arrival.OffMean <= 0) {
+			return fmt.Errorf("traffic: on-off tenant %q needs positive on/off means", tn.Name)
+		}
+		switch tn.Sizes.Kind {
+		case Fixed:
+			if tn.Sizes.Bytes <= 0 {
+				return fmt.Errorf("traffic: tenant %q needs a positive fixed size", tn.Name)
+			}
+		case Pareto:
+			if tn.Sizes.MinBytes <= 0 || tn.Sizes.MaxBytes < tn.Sizes.MinBytes || tn.Sizes.Alpha <= 0 {
+				return fmt.Errorf("traffic: tenant %q has a malformed pareto law", tn.Name)
+			}
+		default:
+			return fmt.Errorf("traffic: tenant %q has an unknown size kind", tn.Name)
+		}
+	}
+	return nil
+}
