@@ -147,6 +147,35 @@ if ! cmp -s testdata/pmfault_traffic_system256_seed1.golden "$bindir/pmfault.out
     exit 1
 fi
 
+echo "== pmtraffic metrics dump =="
+# The per-tenant service registry, latency-decomposition histograms
+# (netsim.send.wait.*) included: the dump must reproduce byte for byte
+# on both engines.
+"$bindir/pmtraffic" --mix default --seed 1 --metrics > "$bindir/pmtraffic.out"
+if ! cmp -s testdata/pmtraffic_default_metrics_seed1.golden "$bindir/pmtraffic.out"; then
+    echo "pmtraffic --metrics output diverged from testdata/pmtraffic_default_metrics_seed1.golden:" >&2
+    diff testdata/pmtraffic_default_metrics_seed1.golden "$bindir/pmtraffic.out" >&2 || true
+    exit 1
+fi
+
+echo "== pmstat windowed telemetry =="
+# The tentpole contract of the telemetry layer: the System256 default
+# mix under a deterministic mid-run link-cut scenario, rendered as
+# per-window burn-rate and latency-decomposition tables, byte-identical
+# on the sequential engine AND partitioned across 4 psim shards.
+"$bindir/pmstat" --campaign link-cut --faults 8 --topo system256 --seed 1 > "$bindir/pmstat.out"
+if ! cmp -s testdata/pmstat_default_system256_seed1.golden "$bindir/pmstat.out"; then
+    echo "pmstat output diverged from testdata/pmstat_default_system256_seed1.golden:" >&2
+    diff testdata/pmstat_default_system256_seed1.golden "$bindir/pmstat.out" >&2 || true
+    exit 1
+fi
+"$bindir/pmstat" --campaign link-cut --faults 8 --topo system256 --seed 1 --engine par --shards 4 > "$bindir/pmstat.out"
+if ! cmp -s testdata/pmstat_default_system256_seed1.golden "$bindir/pmstat.out"; then
+    echo "pmstat --engine par --shards 4 diverged from testdata/pmstat_default_system256_seed1.golden:" >&2
+    diff testdata/pmstat_default_system256_seed1.golden "$bindir/pmstat.out" >&2 || true
+    exit 1
+fi
+
 echo "== pmtrace smoke exports =="
 # A comm workload and a fault campaign, traced with a fixed seed; the
 # Chrome trace_event exports must match the goldens byte for byte (the

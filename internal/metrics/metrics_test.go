@@ -253,3 +253,32 @@ func TestQuantileMergeInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileEmptyHistogram pins the documented empty contract
+// explicitly: "Returns 0 on a nil or empty histogram". Every quantile
+// reads 0 before the first observation — including q <= 0 (the min
+// path) and q > 1 (the max clamp) — on both the nil receiver and an
+// allocated histogram with no observations, and QuantileTime mirrors
+// the contract in the time domain. Callers (traffic SLO percentiles,
+// pmstat series) rely on the zero, not on a panic or a bucket bound.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var nilH *Histogram
+	empty := NewRegistry().Histogram("empty", []int64{10, 20, 40})
+	for _, q := range []float64{-1, 0, 0.001, 0.5, 0.999, 1, 2} {
+		if got := nilH.Quantile(q); got != 0 {
+			t.Errorf("nil.Quantile(%v) = %d, want 0", q, got)
+		}
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+		if got := empty.QuantileTime(q); got != 0 {
+			t.Errorf("empty.QuantileTime(%v) = %v, want 0", q, got)
+		}
+	}
+	// The contract is about emptiness, not youth: observing once and
+	// merging an empty histogram in leaves the quantiles live.
+	empty.Observe(7)
+	if got := empty.Quantile(1); got != 7 {
+		t.Errorf("after one observation Quantile(1) = %d, want 7", got)
+	}
+}

@@ -192,6 +192,36 @@ func planeName(p int) string {
 	return "B"
 }
 
+// Decomp splits a send's sender-observed latency into the four places
+// the time can go, the per-message decomposition the telemetry layer
+// aggregates per tenant (DESIGN.md §11):
+//
+//   - Arb: contention — send-FIFO drain at the source NI, busy wires,
+//     crossbar output arbitration — on the attempt that delivered. The
+//     residual of the attempt's span over its ideal transit, so every
+//     wait the wormhole walk absorbed lands here.
+//   - Wire: the zero-contention transit of the delivering attempt —
+//     propagation, route setup and body streaming on an idle path. A
+//     pure function of the route and payload.
+//   - Detect: time spent learning that attempts failed — ack-timeout
+//     windows, NACK returns, FIFO-stall abandons, and the cached
+//     plane-down status checks (a failed CRC attempt's whole window,
+//     its wire time included, is detection: the transfer bought no
+//     progress, only the NACK's evidence).
+//   - Retry: the driver's backoff pauses between a detection and the
+//     re-post on the next plane.
+//
+// The components are exact, not sampled: for every delivered message
+// Arb + Wire + Detect + Retry == Latency(), and for a failed one
+// Detect + Retry == Latency() with Arb and Wire zero (the message
+// never completed a transit). Unit-tested in decomp_test.go.
+type Decomp struct {
+	Arb, Wire, Detect, Retry sim.Time
+}
+
+// Total is the decomposition's sum — equal to Delivery.Latency().
+func (c Decomp) Total() sim.Time { return c.Arb + c.Wire + c.Detect + c.Retry }
+
 // Delivery describes the outcome of one reliable send.
 type Delivery struct {
 	// Transit is the successful attempt's timing (zero if Failed).
@@ -217,6 +247,9 @@ type Delivery struct {
 	// Sent is the requested entry time; Done is delivery (intact
 	// LastByte) or, for failed messages, when the sender gave up.
 	Sent, Done sim.Time
+	// Decomp splits Latency() exactly into arbitration, wire, detection
+	// and retry time (see Decomp).
+	Decomp Decomp
 }
 
 // Latency is the end-to-end time the sender observed, including every

@@ -40,7 +40,18 @@ const (
 	// than the machine-wide MetricSendLatency so tail percentiles
 	// (internal/traffic SLOs) resolve within a quasi-√2 step.
 	MetricSendLatencyTenantPrefix = MetricSendLatency + "."
+	// MetricSendWaitPrefix prefixes the latency-decomposition histograms:
+	// every delivered message's latency split exactly into the Decomp
+	// components, machine-wide as netsim.send.wait.<component> and — for
+	// labelled sends — per tenant as netsim.send.wait.<component>.<name>.
+	// The sums are exact: across any set of delivered messages the four
+	// component histogram sums add up to the latency histogram's sum.
+	MetricSendWaitPrefix = "netsim.send.wait."
 )
+
+// waitComponents orders the Decomp components as the wait histogram
+// arrays index them; the names complete MetricSendWaitPrefix.
+var waitComponents = [4]string{"arb", "wire", "detect", "retry"}
 
 // latencyBuckets spans the send-latency range of interest: from the
 // paper's sub-4 µs happy path up past several stacked 12 µs detection
@@ -62,15 +73,59 @@ func tenantLatencyBuckets() []sim.Time {
 	return out
 }
 
+// waitBuckets spans the component-wait range: from a single cached
+// plane-down check (50 ns) up past several stacked detection windows.
+// Finer at the bottom than latencyBuckets because the wire component of
+// a small message is a few hundred nanoseconds.
+func waitBuckets() []sim.Time {
+	return metrics.TimeBuckets(50*sim.Nanosecond, 2, 14) // 50 ns .. 409.6 µs
+}
+
+// waitHistograms resolves the four decomposition histograms under a
+// name prefix ending at the component (machine-wide instruments).
+func waitHistograms(m *metrics.Registry) [4]*metrics.Histogram {
+	var out [4]*metrics.Histogram
+	for i, comp := range waitComponents {
+		out[i] = m.TimeHistogram(MetricSendWaitPrefix+comp, waitBuckets())
+	}
+	return out
+}
+
+// tenantWaitHistograms resolves one tenant's four decomposition
+// histograms (netsim.send.wait.<component>.<name>).
+func tenantWaitHistograms(m *metrics.Registry, name string) [4]*metrics.Histogram {
+	var out [4]*metrics.Histogram
+	for i, comp := range waitComponents {
+		out[i] = m.TimeHistogram(MetricSendWaitPrefix+comp+"."+name, waitBuckets())
+	}
+	return out
+}
+
+// observeDecomp feeds one delivered message's decomposition into a
+// component histogram array (no-ops when unresolved).
+//
+//pmlint:hotpath
+func observeDecomp(w *[4]*metrics.Histogram, c Decomp) {
+	w[0].ObserveTime(c.Arb)
+	w[1].ObserveTime(c.Wire)
+	w[2].ObserveTime(c.Detect)
+	w[3].ObserveTime(c.Retry)
+}
+
 // netInstruments holds the network's resolved instruments; the zero
 // value (all nil) is the "metrics off" state.
 type netInstruments struct {
 	sends, delivered, failed, retried, planeDownHits *metrics.Counter
 	sendLatency, detection                           *metrics.Histogram
+	// wait holds the machine-wide latency-decomposition histograms in
+	// waitComponents order; every delivered send feeds them.
+	wait [4]*metrics.Histogram
 	// tenantLat holds the per-tenant delivered-latency histograms of a
 	// partitioned shard, indexed by the tenant id SendAsyncTenant carries
-	// (PartNetwork.SetTenants); nil when unlabelled.
-	tenantLat []*metrics.Histogram
+	// (PartNetwork.SetTenants); nil when unlabelled. tenantWait holds the
+	// matching per-tenant decomposition histograms.
+	tenantLat  []*metrics.Histogram
+	tenantWait [][4]*metrics.Histogram
 }
 
 // SetMetrics attaches a metrics registry: the failover send path feeds
@@ -93,6 +148,7 @@ func (n *Network) SetMetrics(m *metrics.Registry) {
 			planeDownHits: m.Counter(MetricPlaneDownHits),
 			sendLatency:   m.TimeHistogram(MetricSendLatency, latencyBuckets()),
 			detection:     m.TimeHistogram(MetricDetection, latencyBuckets()),
+			wait:          waitHistograms(m),
 		}
 	}
 	planes := n.topo.CrossbarPlanes()
@@ -115,6 +171,7 @@ func (mi *netInstruments) observeSend(d Delivery) {
 	}
 	mi.delivered.Inc()
 	mi.sendLatency.ObserveTime(d.Latency())
+	observeDecomp(&mi.wait, d.Decomp)
 	if d.Retried {
 		mi.retried.Inc()
 	}

@@ -329,6 +329,34 @@ func (n *Network) send(at sim.Time, path topo.Path, payloadBytes int, setupTimeo
 	return Transit{SetupDone: head, FirstByte: first, LastByte: last, WireBytes: wireBytes, Corrupted: corrupted}, nil
 }
 
+// idealTransit is the zero-contention sender-observed transit time of a
+// payload along path: the same walk as send with every wait removed —
+// entry at the requested time, every wire free, every crossbar output
+// granted on arrival. A pure function of the route and the payload,
+// which is what makes it the Wire component of the latency
+// decomposition: the delivering attempt's span minus this is exactly
+// the contention it absorbed (Decomp.Arb), never negative because every
+// wait in the real walk is a max() against the unloaded schedule.
+//
+//pmlint:hotpath
+func (n *Network) idealTransit(path topo.Path, payloadBytes int) sim.Time {
+	if len(path.Hops) == 0 {
+		return 0 // self-delivery: no network involved
+	}
+	wireBytes := ni.WireBytes(len(path.RouteBytes), payloadBytes)
+	byteTime := n.linkCfg.TransferTime(1)
+	var t sim.Time
+	for _, hop := range path.Hops {
+		t += n.linkCfg.PropagationDelay + byteTime
+		if hop.AsyncIn {
+			t += n.trans.Latency
+		}
+		t += xbar.RouteSetup
+	}
+	t += n.linkCfg.PropagationDelay + byteTime
+	return t + n.linkCfg.TransferTime(wireBytes-len(path.RouteBytes))
+}
+
 // sendWireClaim and sendHopClaim are the peeked pass-1 reservations of
 // one send attempt, applied in pass 2 (or held to a failed attempt's
 // teardown).

@@ -249,6 +249,7 @@ func (pn *PartNetwork) SetMetrics(m *metrics.Registry) {
 			planeDownHits: ps.reg.Counter(MetricPlaneDownHits),
 			sendLatency:   ps.reg.TimeHistogram(MetricSendLatency, latencyBuckets()),
 			detection:     ps.reg.TimeHistogram(MetricDetection, latencyBuckets()),
+			wait:          waitHistograms(ps.reg),
 		}
 		buckets := metrics.TimeBuckets(200*sim.Nanosecond, 2, 10)
 		ps.arbWait = ps.reg.TimeHistogram(xbar.MetricArbWait, buckets)
@@ -269,11 +270,14 @@ func (pn *PartNetwork) SetTenants(names []string) {
 	for _, ps := range pn.shards {
 		if ps.reg == nil || len(names) == 0 {
 			ps.met.tenantLat = nil
+			ps.met.tenantWait = nil
 			continue
 		}
 		ps.met.tenantLat = make([]*metrics.Histogram, len(names))
+		ps.met.tenantWait = make([][4]*metrics.Histogram, len(names))
 		for i, name := range names {
 			ps.met.tenantLat[i] = ps.reg.TimeHistogram(MetricSendLatencyTenantPrefix+name, tenantLatencyBuckets())
+			ps.met.tenantWait[i] = tenantWaitHistograms(ps.reg, name)
 		}
 	}
 }

@@ -137,6 +137,7 @@ func (p *psend) step() {
 						p.st.attemptAt(), "plane "+planeName(plane))
 				}
 				p.st.elapsed += p.cfg.PlaneDownCheck
+				p.st.detect += p.cfg.PlaneDownCheck
 				continue
 			}
 			if p.launch(plane) {
@@ -186,6 +187,7 @@ func (p *psend) step() {
 				Attempts: p.st.attempts, SkippedDown: len(p.st.skipped),
 				Failed: true, PayloadBytes: p.payloadBytes,
 				Sent: p.st.at, Done: p.st.attemptAt(),
+				Decomp: Decomp{Detect: p.st.detect, Retry: p.st.retry},
 			}
 			p.ps.met.observeSend(d)
 			p.onDone(d)
@@ -221,6 +223,8 @@ func (p *psend) launch(plane int) bool {
 		p.tp.markDown(plane, attemptAt+p.cfg.SetupTimeout, p.cfg)
 		p.traceAttempt(plane, attemptAt, attemptAt+p.cfg.SetupTimeout, "fifo-stall")
 		p.st.elapsed += p.cfg.SetupTimeout + p.cfg.RetryBackoff
+		p.st.detect += p.cfg.SetupTimeout
+		p.st.retry += p.cfg.RetryBackoff
 		return false
 	}
 	p.ps.sent++
@@ -280,6 +284,8 @@ func (p *psend) srcFailed(res walkRes) {
 	p.tp.markDown(p.curPlane, detected, p.cfg)
 	p.traceAttempt(p.curPlane, p.curAttemptAt, detected, cause)
 	p.st.elapsed = detected + p.cfg.RetryBackoff - p.st.at
+	p.st.detect += detected - p.curAttemptAt
+	p.st.retry += p.cfg.RetryBackoff
 	p.step()
 }
 
@@ -327,6 +333,9 @@ func (p *psend) srcComplete(res walkRes) {
 		pc.CRCErrors++
 		detected := res.last + p.cfg.NackLatency
 		p.st.elapsed = detected + p.cfg.RetryBackoff - p.st.at
+		// The whole corrupt attempt counts as detection (see tryPlane).
+		p.st.detect += detected - p.curAttemptAt
+		p.st.retry += p.cfg.RetryBackoff
 		if p.retryCRC(detected) {
 			return
 		}
@@ -373,6 +382,8 @@ func (p *psend) finish(fm *finalizeMsg) {
 		ps.releaseOpen(p.openKeys)
 		p.recordMsgSpans(p.curEntry, fm.setupDone, fm.last, true)
 		p.st.elapsed = fm.detected + p.cfg.RetryBackoff - p.st.at
+		p.st.detect += fm.detected - p.curAttemptAt
+		p.st.retry += p.cfg.RetryBackoff
 		if p.retryCRC(fm.detected) {
 			return
 		}
@@ -392,6 +403,8 @@ func (p *psend) finish(fm *finalizeMsg) {
 		p.tp.markDown(p.curPlane, fm.detected, p.cfg)
 		p.traceAttempt(p.curPlane, p.curAttemptAt, fm.detected, cause)
 		p.st.elapsed = fm.detected + p.cfg.RetryBackoff - p.st.at
+		p.st.detect += fm.detected - p.curAttemptAt
+		p.st.retry += p.cfg.RetryBackoff
 		p.step()
 	}
 }
@@ -418,6 +431,7 @@ func (p *psend) retryCRC(detected sim.Time) bool {
 // deliverOutcome completes the protocol with a successful delivery.
 func (p *psend) deliverOutcome(tr Transit, done sim.Time) {
 	p.tp.down[p.curPlane] = planeDown{}
+	wire := p.pn.net.idealTransit(p.curPath, p.payloadBytes)
 	d := Delivery{
 		Transit: tr, Plane: p.curPlane,
 		Attempts:     p.st.attempts,
@@ -425,10 +439,17 @@ func (p *psend) deliverOutcome(tr Transit, done sim.Time) {
 		SkippedDown:  len(p.st.skipped),
 		PayloadBytes: p.payloadBytes,
 		Sent:         p.st.at, Done: done,
+		Decomp: Decomp{
+			Arb:    done - p.curAttemptAt - wire,
+			Wire:   wire,
+			Detect: p.st.detect,
+			Retry:  p.st.retry,
+		},
 	}
 	p.ps.met.observeSend(d)
 	if p.tenant >= 0 && p.tenant < len(p.ps.met.tenantLat) {
 		p.ps.met.tenantLat[p.tenant].ObserveTime(d.Latency())
+		observeDecomp(&p.ps.met.tenantWait[p.tenant], d.Decomp)
 	}
 	p.onDone(d)
 }

@@ -78,6 +78,9 @@ type Transport struct {
 	// tenantLat, when labelled via SetTenant, additionally receives every
 	// delivered send's latency under the tenant's histogram name.
 	tenantLat *metrics.Histogram
+	// tenantWait receives the delivered latency's decomposition under the
+	// tenant's per-component histogram names (waitComponents order).
+	tenantWait [4]*metrics.Histogram
 }
 
 // Transport returns a new fault-aware per-source send handle using the
@@ -121,9 +124,11 @@ func (t *Transport) Config() FailoverConfig { return t.cfg }
 func (t *Transport) SetTenant(name string) {
 	if name == "" || t.net.mreg == nil {
 		t.tenantLat = nil
+		t.tenantWait = [4]*metrics.Histogram{}
 		return
 	}
 	t.tenantLat = t.net.mreg.TimeHistogram(MetricSendLatencyTenantPrefix+name, tenantLatencyBuckets())
+	t.tenantWait = tenantWaitHistograms(t.net.mreg, name)
 }
 
 // PlaneDown reports whether the driver's plane-down cache currently
@@ -196,6 +201,7 @@ func (t *Transport) sendWith(at sim.Time, dst, payloadBytes int, cfg FailoverCon
 		t.net.met.observeSend(d)
 		if !d.Failed {
 			t.tenantLat.ObserveTime(d.Latency())
+			observeDecomp(&t.tenantWait, d.Decomp)
 		}
 	}
 	return d, err
@@ -242,6 +248,7 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 					st.attemptAt(), "plane "+planeName(plane))
 			}
 			st.elapsed += cfg.PlaneDownCheck
+			st.detect += cfg.PlaneDownCheck
 			continue
 		}
 		d, final, err := t.tryPlane(plane, dst, payloadBytes, cfg, &st)
@@ -283,7 +290,8 @@ func (t *Transport) sendProtocol(at sim.Time, dst, payloadBytes int, cfg Failove
 			fmt.Sprintf("%d->%d after %d attempts", t.src, dst, st.attempts)) //pmlint:allow hotpath trace-gated formatting on the all-planes-failed path
 	}
 	return Delivery{Attempts: st.attempts, SkippedDown: len(st.skipped), Failed: true,
-		PayloadBytes: payloadBytes, Sent: at, Done: st.attemptAt()}, nil
+		PayloadBytes: payloadBytes, Sent: at, Done: st.attemptAt(),
+		Decomp: Decomp{Detect: st.detect, Retry: st.retry}}, nil
 }
 
 // sendState threads one reliable send's accounting through its plane
@@ -292,7 +300,13 @@ type sendState struct {
 	// at is the requested entry time; elapsed accumulates every
 	// detection window, status check and backoff since.
 	at, elapsed sim.Time
-	attempts    int
+	// detect and retry split elapsed for the latency decomposition:
+	// detection windows (ack timeouts, NACK returns, stall abandons,
+	// plane-down status checks) versus backoff pauses. Every update to
+	// elapsed maintains elapsed == detect + retry, which is what makes
+	// Decomp sum to Latency() exactly.
+	detect, retry sim.Time
+	attempts      int
 	// maxAttempts is the resolved real-attempt budget; crcLeft the
 	// remaining same-plane re-sends the CRCRetries budget allows.
 	maxAttempts int
@@ -370,6 +384,8 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		t.markDown(plane, attemptAt+cfg.SetupTimeout, cfg)
 		t.traceAttempt(plane, attemptAt, attemptAt+cfg.SetupTimeout, "fifo-stall")
 		st.elapsed += cfg.SetupTimeout + cfg.RetryBackoff
+		st.detect += cfg.SetupTimeout
+		st.retry += cfg.RetryBackoff
 		return Delivery{}, false, nil
 	}
 	tr, err := n.send(entry, path, payloadBytes, cfg.SetupTimeout, cfg.AckTimeout)
@@ -393,6 +409,8 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		t.markDown(plane, detected, cfg)
 		t.traceAttempt(plane, attemptAt, detected, cause)
 		st.elapsed = detected + cfg.RetryBackoff - st.at
+		st.detect += detected - attemptAt
+		st.retry += cfg.RetryBackoff
 		return Delivery{}, false, nil
 	}
 	if tr.Corrupted {
@@ -400,6 +418,10 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		pc.CRCErrors++
 		detected := tr.LastByte + cfg.NackLatency
 		st.elapsed = detected + cfg.RetryBackoff - st.at
+		// The whole corrupt attempt — wire time included — is detection:
+		// the transfer bought no progress, only the NACK's evidence.
+		st.detect += detected - attemptAt
+		st.retry += cfg.RetryBackoff
 		if st.crcLeft > 0 && st.attempts < st.maxAttempts {
 			// A NACK proves the plane carried the frame end to end —
 			// transient corruption, not a dead plane. Spend the bounded
@@ -417,6 +439,7 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 	n.nis[dst].Links[plane].RecordFrame()
 	pc.Delivered++
 	t.down[plane] = planeDown{}
+	wire := n.idealTransit(path, payloadBytes)
 	return Delivery{
 		Transit:      tr,
 		Plane:        plane,
@@ -426,5 +449,11 @@ func (t *Transport) tryPlane(plane, dst, payloadBytes int, cfg FailoverConfig, s
 		PayloadBytes: payloadBytes,
 		Sent:         st.at,
 		Done:         tr.LastByte,
+		Decomp: Decomp{
+			Arb:    tr.LastByte - attemptAt - wire,
+			Wire:   wire,
+			Detect: st.detect,
+			Retry:  st.retry,
+		},
 	}, true, nil
 }

@@ -7,6 +7,7 @@ import (
 	"powermanna/internal/netsim"
 	"powermanna/internal/psim"
 	"powermanna/internal/sim"
+	"powermanna/internal/telemetry"
 	"powermanna/internal/topo"
 	"powermanna/internal/trace"
 )
@@ -51,6 +52,13 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Trace optionally records the send-path attempt/outcome stream.
 	Trace *trace.Recorder
+	// Telemetry enables the windowed time-series layer: per-tenant
+	// offered/outcome/violation series, latency-decomposition series and
+	// the SLO burn-rate views, folded into Result.Telemetry.
+	Telemetry bool
+	// Window is the telemetry grid width; <= 0 auto-sizes to
+	// telemetry.AutoWindow(Horizon). Ignored unless Telemetry is set.
+	Window sim.Time
 }
 
 // Engine is one assembled traffic run: a mix of tenants, their streams
@@ -63,7 +71,11 @@ type Engine struct {
 	reg     *metrics.Registry
 	core    engineCore
 	streams []*stream
-	ran     bool
+	// tels holds one sampler per shard (nil when telemetry is off);
+	// streams observe only their own shard's sampler and Run folds them,
+	// the same single-writer discipline as the per-shard registries.
+	tels []*telemetry.Sampler
+	ran  bool
 }
 
 // New validates the mix, assembles the partitioned network and seeds
@@ -112,11 +124,30 @@ func New(mix Mix, opt Options) (*Engine, error) {
 	e.core = engineCore{pn: pn, horizon: opt.Horizon}
 
 	// One counter set per (shard, tenant): streams write only their own
-	// shard's set; the fold sums them.
+	// shard's set; the fold sums them. The telemetry series follow the
+	// same layout — one sampler per shard, one instrument set per
+	// (shard, tenant) — with nil samplers handing out no-op instruments
+	// when telemetry is off.
+	if opt.Telemetry {
+		if opt.Window <= 0 {
+			opt.Window = telemetry.AutoWindow(opt.Horizon)
+		}
+		e.tels = make([]*telemetry.Sampler, shards)
+		for si := range e.tels {
+			e.tels[si] = telemetry.NewSampler(opt.Horizon, opt.Window)
+		}
+		e.opt = opt
+	}
 	counters := make([][]tenantCounters, shards)
+	series := make([][]tenantSeries, shards)
 	for si := range counters {
 		sreg := pn.ShardRegistry(si)
+		var tel *telemetry.Sampler
+		if e.tels != nil {
+			tel = e.tels[si]
+		}
 		row := make([]tenantCounters, len(mix.Tenants))
+		srow := make([]tenantSeries, len(mix.Tenants))
 		for ti, tn := range mix.Tenants {
 			row[ti] = tenantCounters{
 				offered:        sreg.Counter(MetricOfferedPrefix + tn.Name),
@@ -126,8 +157,10 @@ func New(mix Mix, opt Options) (*Engine, error) {
 				failed:         sreg.Counter(MetricFailedPrefix + tn.Name),
 				violations:     sreg.Counter(MetricViolationsPrefix + tn.Name),
 			}
+			srow[ti] = resolveTenantSeries(tel, tn.Name)
 		}
 		counters[si] = row
+		series[si] = srow
 	}
 
 	// Tenant-major, node-minor creation fixes the same-time event order
@@ -137,7 +170,8 @@ func New(mix Mix, opt Options) (*Engine, error) {
 	nodes := opt.Topology.Nodes()
 	for ti, tn := range mix.Tenants {
 		for node := 0; node < nodes; node++ {
-			st := newStream(&e.core, tn, ti, node, nodes, opt.Seed, &counters[pn.ShardOf(node)][ti])
+			si := pn.ShardOf(node)
+			st := newStream(&e.core, tn, ti, node, nodes, opt.Seed, &counters[si][ti], series[si][ti])
 			e.streams = append(e.streams, st)
 			if st.at < opt.Horizon {
 				st.sh.At(st.at, st.fireFn)
@@ -175,6 +209,16 @@ func (e *Engine) Run() (*Result, error) {
 		Registry: e.reg,
 		PlaneA:   e.pn.PlaneCounterSet(topo.NetworkA),
 		PlaneB:   e.pn.PlaneCounterSet(topo.NetworkB),
+	}
+	if e.tels != nil {
+		// Fold the per-shard samplers cell-wise; every fold is commutative,
+		// so the result is independent of shard count and merge order.
+		tel := e.tels[0]
+		for _, src := range e.tels[1:] {
+			tel.MergeFrom(src)
+		}
+		res.Telemetry = tel
+		res.Window = e.opt.Window
 	}
 	for _, tn := range e.mix.Tenants {
 		lat := e.reg.Histogram(netsim.MetricSendLatencyTenantPrefix+tn.Name, nil)

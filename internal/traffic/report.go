@@ -8,6 +8,7 @@ import (
 	"powermanna/internal/psim"
 	"powermanna/internal/sim"
 	"powermanna/internal/stats"
+	"powermanna/internal/telemetry"
 	"powermanna/internal/topo"
 )
 
@@ -64,6 +65,11 @@ type Result struct {
 	Registry *metrics.Registry
 	PlaneA   stats.CounterSet
 	PlaneB   stats.CounterSet
+	// Telemetry is the folded windowed sampler (nil unless the run was
+	// assembled with Options.Telemetry); Window is its grid width. The
+	// BurnTable/DecompTable/SeriesCSV views render off it.
+	Telemetry *telemetry.Sampler
+	Window    sim.Time
 }
 
 // MixTable renders the tenant declarations — what was asked of the

@@ -29,9 +29,13 @@ type tenantCounters struct {
 // sending allocate nothing per message, and all mutable state is owned
 // by a single shard (sharedstate-safe by construction).
 type stream struct {
-	eng    *engineCore
-	sh     *psim.Shard
-	stats  *tenantCounters
+	eng   *engineCore
+	sh    *psim.Shard
+	stats *tenantCounters
+	// tel holds the shard's windowed telemetry instruments for this
+	// tenant; the zero value (all nil) no-ops, so the hot paths observe
+	// unconditionally.
+	tel    tenantSeries
 	r      rng
 	tenant int // index into the mix (and the SetTenants labels)
 	src    int
@@ -68,9 +72,9 @@ type engineCore struct {
 // newStream builds and seeds one (tenant, node) stream and primes its
 // first arrival. The caller schedules the first fire if it falls inside
 // the horizon.
-func newStream(eng *engineCore, tn Tenant, tenant, src, nodes int, seed int64, stats *tenantCounters) *stream {
+func newStream(eng *engineCore, tn Tenant, tenant, src, nodes int, seed int64, stats *tenantCounters, tel tenantSeries) *stream {
 	s := &stream{
-		eng: eng, sh: eng.pn.Shard(eng.pn.ShardOf(src)), stats: stats,
+		eng: eng, sh: eng.pn.Shard(eng.pn.ShardOf(src)), stats: stats, tel: tel,
 		r: seedRNG(seed, tenant, src), tenant: tenant, src: src, nodes: nodes,
 		arrival: tn.Arrival, sizes: tn.Sizes, pattern: tn.Pattern, bound: tn.SLO.Bound,
 	}
@@ -125,6 +129,9 @@ func (s *stream) fire() {
 	dst := s.sampleDst()
 	s.stats.offered.Inc()
 	s.stats.offeredBytes.Add(int64(size))
+	// The window is indexed by the arrival's own instant, never by event
+	// order — the shard-count-invariance contract of internal/telemetry.
+	s.tel.offered.Inc(s.at)
 	if err := s.eng.pn.SendAsyncTenant(s.tenant, s.src, dst, size, nil, s.at, s.doneFn); err != nil {
 		// Arguments are validated at construction; reaching this is a
 		// model bug, not a runtime condition.
@@ -145,12 +152,21 @@ func (s *stream) done(d netsim.Delivery) {
 	if d.Failed {
 		s.stats.failed.Inc()
 		s.stats.violations.Inc()
+		s.tel.failed.Inc(d.Done)
+		s.tel.violations.Inc(d.Done)
 		return
 	}
 	s.stats.delivered.Inc()
 	s.stats.deliveredBytes.Add(int64(d.PayloadBytes))
+	s.tel.delivered.Inc(d.Done)
+	s.tel.lat.ObserveTime(d.Done, d.Latency())
+	s.tel.wait[0].ObserveTime(d.Done, d.Decomp.Arb)
+	s.tel.wait[1].ObserveTime(d.Done, d.Decomp.Wire)
+	s.tel.wait[2].ObserveTime(d.Done, d.Decomp.Detect)
+	s.tel.wait[3].ObserveTime(d.Done, d.Decomp.Retry)
 	if s.bound > 0 && d.Latency() > s.bound {
 		s.stats.violations.Inc()
+		s.tel.violations.Inc(d.Done)
 	}
 }
 

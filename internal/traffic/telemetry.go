@@ -1,0 +1,239 @@
+// Windowed telemetry for traffic runs: the time-resolved view over the
+// end-of-run service report. Each (shard, tenant) pair owns a set of
+// telemetry instruments resolved from that shard's private sampler;
+// streams observe offered arrivals at their fire time and outcomes at
+// their completion time — both pure functions of the model, never of
+// event interleaving — and Run folds the per-shard samplers cell-wise,
+// so the rendered series are byte-identical across --engine seq|par and
+// every aligned shard count (the determinism contract of DESIGN.md §11).
+//
+// On top of the raw series sit the two derived views the ROADMAP's
+// operational story needs:
+//
+//   - the SLO burn-rate: per window, violations over the window's error
+//     budget (completed × (1−quantile)); a burn of 1.0 consumes budget
+//     exactly as fast as the SLO allows, 10× means the tenant will blow
+//     through its allowance in a tenth of the horizon. The cumulative
+//     budget-used column is the integral — the error-budget consumption.
+//   - the latency decomposition: per-window means of the exact Decomp
+//     components (arbitration, wire, detection, retry) the netsim send
+//     path computes per message, aggregated per tenant.
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"powermanna/internal/sim"
+	"powermanna/internal/stats"
+	"powermanna/internal/telemetry"
+)
+
+// Telemetry series name prefixes inside a run's sampler; the tenant
+// name is the suffix, mirroring the registry counter naming.
+const (
+	SeriesOfferedPrefix    = "offered."
+	SeriesDeliveredPrefix  = "delivered."
+	SeriesFailedPrefix     = "failed."
+	SeriesViolationsPrefix = "viol."
+	SeriesLatencyPrefix    = "lat."
+	SeriesWaitPrefix       = "wait."
+)
+
+// waitComponents orders the decomposition series as the wait arrays
+// index them, matching netsim's component naming.
+var waitComponents = [4]string{"arb", "wire", "detect", "retry"}
+
+// tenantSeries holds one (shard, tenant)'s windowed instruments. The
+// zero value (all nil) is the "telemetry off" state — every observation
+// no-ops — so streams observe unconditionally.
+type tenantSeries struct {
+	offered    *telemetry.Series
+	delivered  *telemetry.Series
+	failed     *telemetry.Series
+	violations *telemetry.Series
+	lat        *telemetry.HistSeries
+	wait       [4]*telemetry.HistSeries
+}
+
+// resolveTenantSeries resolves one tenant's instruments from a shard's
+// sampler (nil sampler yields the all-nil no-op set).
+func resolveTenantSeries(tel *telemetry.Sampler, name string) tenantSeries {
+	ts := tenantSeries{
+		offered:    tel.Series(SeriesOfferedPrefix + name),
+		delivered:  tel.Series(SeriesDeliveredPrefix + name),
+		failed:     tel.Series(SeriesFailedPrefix + name),
+		violations: tel.Series(SeriesViolationsPrefix + name),
+		lat:        tel.TimeHist(SeriesLatencyPrefix + name),
+	}
+	for i, comp := range waitComponents {
+		ts.wait[i] = tel.TimeHist(SeriesWaitPrefix + comp + "." + name)
+	}
+	return ts
+}
+
+// burnRate renders one window's SLO burn: violations over the window's
+// error budget completed×(1−q). Both sides are completion-indexed —
+// violations are observed at the outcome's Done instant, so the
+// denominator counts the outcomes of the same window, never the
+// arrivals (an arrival-indexed budget would leave drain-window
+// violations with no budget at all). A burn of 1.0 consumes budget
+// exactly at the allowed rate. "-" when the window completed nothing;
+// deterministic IEEE-754 arithmetic on integer inputs.
+func burnRate(viol, completed int64, q float64) string {
+	if completed == 0 {
+		if viol == 0 {
+			return "-"
+		}
+		return "inf"
+	}
+	budget := float64(completed) * (1 - q)
+	if budget <= 0 {
+		if viol == 0 {
+			return "0.00"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(viol)/budget)
+}
+
+// budgetUsed renders cumulative error-budget consumption as a
+// percentage: cumulative violations over the cumulative budget
+// (completed outcomes so far, like burnRate's denominator).
+func budgetUsed(cumViol, cumCompleted int64, q float64) string {
+	budget := float64(cumCompleted) * (1 - q)
+	if budget <= 0 {
+		if cumViol == 0 {
+			return "0.0"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(cumViol)/budget)
+}
+
+// meanMicros renders a windowed histogram cell's mean as microseconds
+// ("-" when the cell is empty).
+func meanMicros(c telemetry.HistCell) string {
+	if c.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", sim.Time(c.Mean()).Micros())
+}
+
+// telemetryRows walks the series grid window-major, tenant-minor and
+// hands each non-empty (window, tenant) cell set to emit. Rows where a
+// tenant neither offered nor completed anything are elided; window
+// labels come from the sampler so the tail cell reads ">=<horizon>us".
+func (r *Result) telemetryRows(emit func(win int, label string, tn Tenant, ts tenantSeries, cumViol, cumCompleted int64)) {
+	tel := r.Telemetry
+	if tel == nil {
+		return
+	}
+	series := make([]tenantSeries, len(r.Mix.Tenants))
+	cumViol := make([]int64, len(r.Mix.Tenants))
+	cumCompleted := make([]int64, len(r.Mix.Tenants))
+	for i, tn := range r.Mix.Tenants {
+		series[i] = resolveTenantSeries(tel, tn.Name)
+	}
+	for w := 0; w <= tel.Windows(); w++ {
+		for i, tn := range r.Mix.Tenants {
+			ts := series[i]
+			off, del, fail, viol := ts.offered.Cell(w), ts.delivered.Cell(w), ts.failed.Cell(w), ts.violations.Cell(w)
+			cumViol[i] += viol
+			cumCompleted[i] += del + fail
+			if off == 0 && del == 0 && fail == 0 && viol == 0 && ts.lat.Cell(w).Count == 0 {
+				continue
+			}
+			emit(w, tel.WindowLabel(w), tn, ts, cumViol[i], cumCompleted[i])
+		}
+	}
+}
+
+// BurnTable renders the per-window SLO burn-rate series: offered and
+// completed traffic, violations, the window's burn rate and the
+// cumulative error-budget consumption, per tenant in window order — the
+// table that localizes when a fault started charging a tenant's budget.
+func (r *Result) BurnTable() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("slo burn-rate (window %dus)", int64(r.Window/sim.Microsecond)),
+		Columns: []string{"window", "tenant", "offered", "delivered", "failed", "viol", "burn", "budget-used%"},
+	}
+	r.telemetryRows(func(w int, label string, tn Tenant, ts tenantSeries, cumViol, cumCompleted int64) {
+		t.AddRow(
+			label, tn.Name,
+			fmt.Sprintf("%d", ts.offered.Cell(w)),
+			fmt.Sprintf("%d", ts.delivered.Cell(w)),
+			fmt.Sprintf("%d", ts.failed.Cell(w)),
+			fmt.Sprintf("%d", ts.violations.Cell(w)),
+			burnRate(ts.violations.Cell(w), ts.delivered.Cell(w)+ts.failed.Cell(w), tn.SLO.Quantile),
+			budgetUsed(cumViol, cumCompleted, tn.SLO.Quantile),
+		)
+	})
+	return t
+}
+
+// DecompTable renders the per-window latency decomposition: delivered
+// count, mean delivered latency and the mean of each exact Decomp
+// component — where each tenant's time went, window by window.
+func (r *Result) DecompTable() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("latency decomposition (window %dus, means)", int64(r.Window/sim.Microsecond)),
+		Columns: []string{"window", "tenant", "count", "lat-us", "arb-us", "wire-us", "detect-us", "retry-us"},
+	}
+	r.telemetryRows(func(w int, label string, tn Tenant, ts tenantSeries, _, _ int64) {
+		c := ts.lat.Cell(w)
+		if c.Count == 0 {
+			return
+		}
+		t.AddRow(
+			label, tn.Name,
+			fmt.Sprintf("%d", c.Count),
+			meanMicros(c),
+			meanMicros(ts.wait[0].Cell(w)),
+			meanMicros(ts.wait[1].Cell(w)),
+			meanMicros(ts.wait[2].Cell(w)),
+			meanMicros(ts.wait[3].Cell(w)),
+		)
+	})
+	return t
+}
+
+// SeriesCSV exports the full per-window, per-tenant series as CSV: the
+// burn-rate and decomposition views joined on (window, tenant), one
+// header line, deterministic row order (window-major, mix tenant
+// order). Machine-readable counterpart of BurnTable and DecompTable.
+func (r *Result) SeriesCSV() string {
+	var b strings.Builder
+	b.WriteString("window_start_us,window_end_us,tenant,offered,delivered,failed,viol,burn,budget_used_pct,lat_mean_us,arb_mean_us,wire_mean_us,detect_mean_us,retry_mean_us\n")
+	tel := r.Telemetry
+	if tel == nil {
+		return b.String()
+	}
+	us := int64(tel.Window() / sim.Microsecond)
+	r.telemetryRows(func(w int, label string, tn Tenant, ts tenantSeries, cumViol, cumCompleted int64) {
+		start := int64(w) * us
+		end := fmt.Sprintf("%d", start+us)
+		if w >= tel.Windows() {
+			end = "" // open-ended tail cell: drain past the horizon
+		}
+		csvNum := func(s string) string {
+			if s == "-" {
+				return ""
+			}
+			return s
+		}
+		c := ts.lat.Cell(w)
+		fmt.Fprintf(&b, "%d,%s,%s,%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s\n",
+			start, end, tn.Name,
+			ts.offered.Cell(w), ts.delivered.Cell(w), ts.failed.Cell(w), ts.violations.Cell(w),
+			csvNum(burnRate(ts.violations.Cell(w), ts.delivered.Cell(w)+ts.failed.Cell(w), tn.SLO.Quantile)),
+			csvNum(budgetUsed(cumViol, cumCompleted, tn.SLO.Quantile)),
+			csvNum(meanMicros(c)),
+			csvNum(meanMicros(ts.wait[0].Cell(w))),
+			csvNum(meanMicros(ts.wait[1].Cell(w))),
+			csvNum(meanMicros(ts.wait[2].Cell(w))),
+			csvNum(meanMicros(ts.wait[3].Cell(w))),
+		)
+	})
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"powermanna/internal/psim"
+	"powermanna/internal/sim"
+	"powermanna/internal/topo"
+)
+
+// telemetryRun drives one System256 run with telemetry on and returns
+// the Result; faultAt > 0 cuts node 9's plane-A uplink at that instant.
+func telemetryRun(t *testing.T, kind psim.Kind, shards int, seed int64, faultAt sim.Time) *Result {
+	t.Helper()
+	eng, err := New(DefaultMix(), Options{
+		Seed: seed, Topology: topo.System256(), Horizon: 200 * sim.Microsecond,
+		Engine: kind, Shards: shards, Telemetry: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if faultAt > 0 {
+		eng.Network().CutWire(9, topo.NetworkA, faultAt)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// telemetryViews joins every rendered telemetry surface into one string
+// so a single comparison pins them all.
+func telemetryViews(r *Result) string {
+	return r.Telemetry.Render() + "\n" + r.BurnTable().Render() + "\n" +
+		r.DecompTable().Render() + "\n" + r.SeriesCSV()
+}
+
+// TestTelemetryByteIdenticalAcrossShards pins the tentpole contract:
+// every rendered telemetry view — raw series dump, burn-rate table,
+// decomposition table, CSV — is byte-identical across the sequential
+// engine and the parallel engine at shard counts 1, 2 and 4, across
+// seeds. Runs under -race in CI, so it also proves the per-shard
+// samplers never share cells.
+func TestTelemetryByteIdenticalAcrossShards(t *testing.T) {
+	cfgs := []struct {
+		name   string
+		kind   psim.Kind
+		shards int
+	}{
+		{"seq", psim.Seq, 1},
+		{"par2", psim.Par, 2},
+		{"par4", psim.Par, 4},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		ref := telemetryViews(telemetryRun(t, cfgs[0].kind, cfgs[0].shards, seed, 0))
+		if !strings.Contains(ref, "series     offered.") {
+			t.Fatalf("seed %d: reference run recorded no offered series:\n%s", seed, ref)
+		}
+		for _, c := range cfgs[1:] {
+			got := telemetryViews(telemetryRun(t, c.kind, c.shards, seed, 0))
+			if got != ref {
+				t.Fatalf("seed %d: %s telemetry diverges from %s:\n--- %s\n%s\n--- %s\n%s",
+					seed, c.name, cfgs[0].name, cfgs[0].name, ref, c.name, got)
+			}
+		}
+	}
+}
+
+// TestTelemetryDecompSumsExact pins the window-level form of the
+// decomposition contract: in every (window, tenant) cell the four wait
+// series sum exactly to the latency series, counts matching — the
+// per-message identity survives windowed aggregation because both sides
+// are indexed by the same completion instant.
+func TestTelemetryDecompSumsExact(t *testing.T) {
+	res := telemetryRun(t, psim.Par, 4, 1, 100*sim.Microsecond)
+	tel := res.Telemetry
+	for _, tn := range res.Mix.Tenants {
+		ts := resolveTenantSeries(tel, tn.Name)
+		var delivered int64
+		for w := 0; w <= tel.Windows(); w++ {
+			lat := ts.lat.Cell(w)
+			delivered += lat.Count
+			var sum int64
+			for i := range ts.wait {
+				c := ts.wait[i].Cell(w)
+				if c.Count != lat.Count {
+					t.Errorf("%s %s: wait[%d] count %d != latency count %d",
+						tn.Name, tel.WindowLabel(w), i, c.Count, lat.Count)
+				}
+				sum += c.Sum
+			}
+			if sum != lat.Sum {
+				t.Errorf("%s %s: wait sums %d != latency sum %d", tn.Name, tel.WindowLabel(w), sum, lat.Sum)
+			}
+		}
+		if delivered == 0 {
+			t.Errorf("%s: no deliveries in any window", tn.Name)
+		}
+		// The series totals agree with the run-level registry counters:
+		// the windowed layer drops nothing.
+		var st TenantStats
+		for _, cand := range res.Tenants {
+			if cand.Name == tn.Name {
+				st = cand
+			}
+		}
+		if got := ts.offered.Total(); got != st.Offered {
+			t.Errorf("%s: series offered %d != counter %d", tn.Name, got, st.Offered)
+		}
+		if got := ts.delivered.Total(); got != st.Delivered {
+			t.Errorf("%s: series delivered %d != counter %d", tn.Name, got, st.Delivered)
+		}
+		if got := ts.failed.Total(); got != st.Failed {
+			t.Errorf("%s: series failed %d != counter %d", tn.Name, got, st.Failed)
+		}
+		if got := ts.violations.Total(); got != st.Violations {
+			t.Errorf("%s: series violations %d != counter %d", tn.Name, got, st.Violations)
+		}
+	}
+}
+
+// TestTelemetryLocalizesMidRunFault pins the operational story: a
+// plane-A uplink cut halfway through the horizon shows up in the
+// windowed detect component — the post-cut windows carry detection time
+// the pre-cut windows do not.
+func TestTelemetryLocalizesMidRunFault(t *testing.T) {
+	cut := 100 * sim.Microsecond
+	res := telemetryRun(t, psim.Seq, 1, 1, cut)
+	tel := res.Telemetry
+	cutWin := int(cut / tel.Window())
+	var before, after int64
+	for _, tn := range res.Mix.Tenants {
+		ts := resolveTenantSeries(tel, tn.Name)
+		for w := 0; w <= tel.Windows(); w++ {
+			d := ts.wait[2].Cell(w).Sum
+			if w < cutWin {
+				before += d
+			} else {
+				after += d
+			}
+		}
+	}
+	if after == 0 {
+		t.Fatalf("mid-run cut at window %d left no detection time in later windows", cutWin)
+	}
+	if before >= after {
+		t.Errorf("detection time before the cut (%d) >= after (%d); series does not localize the fault", before, after)
+	}
+}
+
+// TestTelemetryOffByDefault pins the off state: no sampler on the
+// result, views render empty (header-only CSV), and the run itself is
+// unchanged by the disabled instruments.
+func TestTelemetryOffByDefault(t *testing.T) {
+	eng, err := New(DefaultMix(), Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Telemetry != nil {
+		t.Fatalf("telemetry sampler present without Options.Telemetry")
+	}
+	if rows := res.BurnTable().Rows; len(rows) != 0 {
+		t.Errorf("burn table has %d rows with telemetry off", len(rows))
+	}
+	if csv := res.SeriesCSV(); strings.Count(csv, "\n") != 1 {
+		t.Errorf("series CSV not header-only with telemetry off:\n%s", csv)
+	}
+}
+
+// TestZeroAllocTelemetryObserve pins the fire/done hot paths with live
+// telemetry instruments: observing into the windowed series must not
+// allocate (the grid is pre-allocated at sampler creation).
+func TestZeroAllocTelemetryObserve(t *testing.T) {
+	eng, err := New(DefaultMix(), Options{Seed: 3, Telemetry: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := eng.streams[0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.tel.offered.Inc(s.at)
+		s.tel.delivered.Inc(s.at)
+		s.tel.lat.ObserveTime(s.at, sim.Microsecond)
+		for i := range s.tel.wait {
+			s.tel.wait[i].ObserveTime(s.at, sim.Nanosecond)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry observation allocates %.1f per message; the windowed hot path must not allocate", allocs)
+	}
+}

@@ -267,6 +267,24 @@ func MixByName(name string) (Mix, error) {
 	return Mix{}, fmt.Errorf("traffic: unknown mix %q", name)
 }
 
+// Solo extracts one tenant as a single-tenant mix (named
+// "<mix>/<tenant>") — the isolation run: the same workload shape and
+// SLO with the rest of the mix's load removed, so a telemetry series
+// next to the full mix's separates self-inflicted latency from
+// cross-tenant contention.
+func (m Mix) Solo(tenant string) (Mix, error) {
+	for _, tn := range m.Tenants {
+		if tn.Name == tenant {
+			return Mix{
+				Name:        m.Name + "/" + tenant,
+				Description: tn.Name + " in isolation (from mix " + m.Name + ")",
+				Tenants:     []Tenant{tn},
+			}, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("traffic: mix %q has no tenant %q", m.Name, tenant)
+}
+
 // Validate checks a mix is runnable: at least one tenant, unique
 // non-empty names (they become metric labels), positive rates and
 // well-formed size distributions.

@@ -18,7 +18,7 @@ func drainSchedule(t *testing.T, seed int64, tenant, node, n int) []sim.Time {
 		t.Fatalf("New: %v", err)
 	}
 	mix := DefaultMix()
-	s := newStream(&eng.core, mix.Tenants[tenant], tenant, node, eng.opt.Topology.Nodes(), seed, &tenantCounters{})
+	s := newStream(&eng.core, mix.Tenants[tenant], tenant, node, eng.opt.Topology.Nodes(), seed, &tenantCounters{}, tenantSeries{})
 	out := make([]sim.Time, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, s.at)
